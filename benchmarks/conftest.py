@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+The benchmarks are experiment harnesses (one per paper table/figure), so
+each is executed exactly once per session via ``benchmark.pedantic`` —
+statistical repetition is meaningless for accuracy experiments and would
+multiply runtimes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,101 @@
+"""Ablation study of GB-KMV's design choices (beyond the paper's figures).
+
+DESIGN.md calls out three design decisions the paper argues for
+analytically; this benchmark measures each one empirically on the
+NETFLIX proxy:
+
+1. the global threshold (Theorem 3): plain KMV vs G-KMV at equal space;
+2. the frequent-element buffer (Section IV-A(3)): G-KMV vs GB-KMV with
+   the cost-model buffer;
+3. the estimation framework (Section III-B): LSH-E without and with
+   candidate verification, and the earlier asymmetric-MinHash baseline.
+"""
+
+from __future__ import annotations
+
+from _util import DEFAULT_THRESHOLD, bench_dataset, bench_workload, evaluate_methods, write_report
+
+from repro.baselines import AsymmetricMinHashIndex, GKMVSearchIndex, KMVSearchIndex, LSHEnsembleIndex
+from repro.core import GBKMVIndex
+from repro.evaluation import evaluate_search_method
+from repro.evaluation.harness import time_construction
+
+DATASET = "NETFLIX"
+SPACE_FRACTION = 0.10
+
+
+def _run() -> list[list[object]]:
+    records = bench_dataset(DATASET)
+    queries, truth = bench_workload(DATASET)
+    evaluations = evaluate_methods(
+        records,
+        queries,
+        truth,
+        DEFAULT_THRESHOLD,
+        {
+            "KMV (no threshold, no buffer)": lambda: KMVSearchIndex.build(
+                records, space_fraction=SPACE_FRACTION
+            ),
+            "G-KMV (global threshold)": lambda: GKMVSearchIndex.build(
+                records, space_fraction=SPACE_FRACTION
+            ),
+            "GB-KMV (threshold + buffer)": lambda: GBKMVIndex.build(
+                records, space_fraction=SPACE_FRACTION
+            ),
+            "LSH-E (raw candidates)": lambda: LSHEnsembleIndex.build(
+                records, num_perm=128, num_partitions=16
+            ),
+            "AsymMinHash": lambda: AsymmetricMinHashIndex.build(records, num_perm=128),
+        },
+    )
+    # LSH-E with verification shares the raw-candidate index; evaluate separately.
+    lshe, construction_seconds = time_construction(
+        lambda: LSHEnsembleIndex.build(records, num_perm=128, num_partitions=16)
+    )
+
+    class _VerifyingLSHE:
+        def search(self, query, threshold, query_size=None):
+            return lshe.search(query, threshold, query_size=query_size, verify=True)
+
+        def space_in_values(self):
+            return lshe.space_in_values()
+
+        def space_fraction(self):
+            return lshe.space_fraction()
+
+    evaluations["LSH-E (verified candidates)"] = evaluate_search_method(
+        "LSH-E (verified candidates)",
+        _VerifyingLSHE(),
+        queries,
+        truth,
+        DEFAULT_THRESHOLD,
+        construction_seconds=construction_seconds,
+    )
+
+    return [
+        [
+            method_name,
+            round(evaluation.accuracy.f1, 4),
+            round(evaluation.accuracy.precision, 4),
+            round(evaluation.accuracy.recall, 4),
+            round(evaluation.space_fraction, 3),
+        ]
+        for method_name, evaluation in evaluations.items()
+    ]
+
+
+def test_ablation_design_choices(run_once):
+    rows = run_once(_run)
+    write_report(
+        "ablation_design_choices",
+        "Ablation: each GB-KMV design choice on the NETFLIX proxy",
+        ["method", "f1", "precision", "recall", "space_frac"],
+        rows,
+    )
+    by_name = {row[0]: row for row in rows}
+    # Global threshold helps; the buffer helps further (Figure 6 ordering).
+    assert by_name["G-KMV (global threshold)"][1] >= by_name["KMV (no threshold, no buffer)"][1] - 0.02
+    assert by_name["GB-KMV (threshold + buffer)"][1] >= by_name["G-KMV (global threshold)"][1] - 0.02
+    # GB-KMV beats both LSH-E variants and the asymmetric-MinHash baseline.
+    assert by_name["GB-KMV (threshold + buffer)"][1] >= by_name["LSH-E (raw candidates)"][1]
+    assert by_name["GB-KMV (threshold + buffer)"][1] >= by_name["AsymMinHash"][1]

@@ -1,0 +1,62 @@
+"""Figure 17 — query-time versus accuracy trade-off.
+
+Sweeps the knob each method exposes (GB-KMV: space budget; LSH-E: number
+of hash functions) and reports average per-query time together with F1.
+The paper's claim is that, at comparable F1, GB-KMV answers queries one
+to two orders of magnitude faster, and that LSH-E's F1 barely improves
+with more hash functions because its precision stays poor.
+"""
+
+from __future__ import annotations
+
+from _util import DEFAULT_THRESHOLD, bench_dataset, bench_workload, evaluate_methods, write_report
+
+from repro.baselines import LSHEnsembleIndex
+from repro.core import GBKMVIndex
+
+DATASETS = ("COD", "NETFLIX", "DELIC", "ENRON")
+GBKMV_FRACTIONS = (0.02, 0.05, 0.10, 0.20)
+LSHE_NUM_PERMS = (32, 64, 128)
+
+
+def _run() -> list[list[object]]:
+    rows: list[list[object]] = []
+    for name in DATASETS:
+        records = bench_dataset(name)
+        queries, truth = bench_workload(name)
+        methods = {}
+        for fraction in GBKMV_FRACTIONS:
+            methods[f"GB-KMV@{fraction:.0%}"] = (
+                lambda f=fraction: GBKMVIndex.build(records, space_fraction=f)
+            )
+        for num_perm in LSHE_NUM_PERMS:
+            methods[f"LSH-E@{num_perm}"] = (
+                lambda n=num_perm: LSHEnsembleIndex.build(records, num_perm=n, num_partitions=16)
+            )
+        evaluations = evaluate_methods(records, queries, truth, DEFAULT_THRESHOLD, methods)
+        for method_name, evaluation in evaluations.items():
+            rows.append(
+                [
+                    name,
+                    method_name,
+                    round(evaluation.avg_query_seconds * 1e3, 3),
+                    round(evaluation.accuracy.f1, 4),
+                ]
+            )
+    return rows
+
+
+def test_fig17_time_vs_accuracy(run_once):
+    rows = run_once(_run)
+    write_report(
+        "fig17_time_accuracy",
+        "Figure 17: average query time (ms) vs F1",
+        ["dataset", "method", "query_ms", "f1"],
+        rows,
+    )
+    # Shape check: for each dataset, the best GB-KMV configuration reaches a
+    # higher F1 than the best LSH-E configuration.
+    for name in DATASETS:
+        gbkmv_best = max(row[3] for row in rows if row[0] == name and "GB-KMV" in row[1])
+        lshe_best = max(row[3] for row in rows if row[0] == name and "LSH-E" in row[1])
+        assert gbkmv_best >= lshe_best

@@ -1,0 +1,73 @@
+"""Figure 5 — effect of the buffer size on accuracy and on the cost model.
+
+For the NETFLIX and ENRON proxies, sweep the buffer size ``r`` under a
+fixed 10% space budget and report, per ``r``:
+
+* the empirical F1 of GB-KMV built with that buffer size, and
+* the cost model's estimated average variance (Section IV-C6).
+
+The paper's claim (Fig. 5) is that the variance curve is a reliable guide
+to a good buffer size: the ``r`` minimising the model variance should be
+near the ``r`` maximising empirical F1 (small values preferred for the
+variance, large for F1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _util import DEFAULT_THRESHOLD, bench_dataset, bench_workload, write_report
+
+from repro.core import GBKMVIndex, average_variance
+from repro.datasets.powerlaw import element_frequencies, record_sizes
+from repro.evaluation import evaluate_search_method
+
+DATASETS = ("NETFLIX", "ENRON")
+SPACE_FRACTION = 0.10
+
+
+def _sweep(name: str) -> list[list[object]]:
+    records = bench_dataset(name)
+    queries, truth = bench_workload(name)
+    sizes = record_sizes(records)
+    frequencies = np.array(
+        list(element_frequencies(records).values()), dtype=np.float64
+    )
+    budget = SPACE_FRACTION * sizes.sum()
+    cap = int((budget - 1) * 32 / len(records))
+    grid = sorted({0, cap // 8, cap // 4, cap // 2, 3 * cap // 4, cap})
+
+    rows: list[list[object]] = []
+    for buffer_size in grid:
+        index = GBKMVIndex.build(
+            records, space_fraction=SPACE_FRACTION, buffer_size=buffer_size
+        )
+        evaluation = evaluate_search_method(
+            f"r={buffer_size}", index, queries, truth, DEFAULT_THRESHOLD
+        )
+        variance = average_variance(sizes, frequencies, budget, buffer_size)
+        rows.append(
+            [
+                name,
+                buffer_size,
+                round(evaluation.accuracy.f1, 4),
+                float(f"{variance:.3e}") if np.isfinite(variance) else float("inf"),
+            ]
+        )
+    return rows
+
+
+def test_fig5_buffer_size_effect(run_once):
+    rows = run_once(lambda: [row for name in DATASETS for row in _sweep(name)])
+    write_report(
+        "fig5_buffer_size",
+        "Figure 5: effect of buffer size (F1 and model variance vs r)",
+        ["dataset", "buffer_r", "f1", "model_variance"],
+        rows,
+    )
+    # Shape check per dataset: the model-optimal r should achieve an F1 close
+    # to the best F1 observed anywhere on the grid.
+    for name in DATASETS:
+        subset = [row for row in rows if row[0] == name]
+        best_f1 = max(row[2] for row in subset)
+        model_best = min(subset, key=lambda row: row[3])
+        assert model_best[2] >= best_f1 - 0.15

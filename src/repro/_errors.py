@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library-level failures with a
+single ``except`` clause while still letting programming errors
+(``TypeError`` and friends raised by Python itself) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters.
+
+    Raised, for instance, when a sketch is requested with a non-positive
+    space budget, or when a similarity threshold falls outside ``[0, 1]``.
+    """
+
+
+class EmptyDatasetError(ReproError):
+    """An operation required a non-empty dataset but received an empty one."""
+
+
+class EstimationError(ReproError):
+    """An estimator could not produce a value.
+
+    Typically raised when a sketch is empty or degenerate (e.g. a KMV
+    synopsis with ``k < 2`` asked for a variance estimate).
+    """
+
+
+class SketchCompatibilityError(ReproError):
+    """Two sketches cannot be combined.
+
+    Raised when sketches built with different hash functions, different
+    global thresholds, or different buffer layouts are merged or compared.
+    """
+
+
+class DatasetFormatError(ReproError):
+    """A dataset file or record stream is malformed."""

@@ -1,0 +1,27 @@
+"""Baseline containment-similarity-search methods the paper compares against.
+
+``LSHEnsembleIndex``
+    The state-of-the-art baseline LSH-E (Zhu et al., VLDB 2016):
+    containment → Jaccard transformation, equal-depth size partitioning
+    and per-partition MinHash LSH with query-time parameter tuning
+    (Section III-A).
+``KMVSearchIndex``
+    Plain KMV sketches with the optimal equal allocation of Theorem 1.
+``GKMVSearchIndex``
+    G-KMV sketches (global threshold, no buffer) — the intermediate point
+    between KMV and GB-KMV in Figure 6.
+``AsymmetricMinHashIndex``
+    Asymmetric minwise hashing (Shrivastava & Li, WWW 2015), the earlier
+    padding-based baseline discussed in Related Work.
+"""
+
+from repro.baselines.lsh_ensemble import LSHEnsembleIndex
+from repro.baselines.kmv_search import GKMVSearchIndex, KMVSearchIndex
+from repro.baselines.asymmetric_minhash import AsymmetricMinHashIndex
+
+__all__ = [
+    "LSHEnsembleIndex",
+    "KMVSearchIndex",
+    "GKMVSearchIndex",
+    "AsymmetricMinHashIndex",
+]

@@ -1,0 +1,246 @@
+"""KMV and G-KMV containment search baselines (no buffer).
+
+``KMVSearchIndex`` keeps, for every record, its ``k = ⌊b / m⌋`` smallest
+hash values — the equal allocation Theorem 1 shows to be optimal for
+plain KMV under a space budget ``b`` — and answers containment search
+with the Equation-10 intersection estimator.
+
+``GKMVSearchIndex`` keeps every hash value below a single global
+threshold ``τ`` chosen so the sketches fill the budget, and estimates
+with the enlarged-``k`` estimator of Equations 24–26.  It is exactly a
+GB-KMV index with buffer size zero, and is implemented as such.
+
+Both appear as the non-buffered points of Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro._errors import ConfigurationError, EmptyDatasetError
+from repro.core.index import GBKMVIndex, SearchResult
+from repro.hashing import UnitHash
+
+
+class KMVSearchIndex:
+    """Plain-KMV containment similarity search with equal allocation."""
+
+    def __init__(
+        self,
+        hasher: UnitHash,
+        k_per_record: int,
+        budget: float,
+    ) -> None:
+        self._hasher = hasher
+        self._k = int(k_per_record)
+        self._budget = float(budget)
+        self._values: list[np.ndarray] = []
+        self._record_sizes: list[int] = []
+        self._value_postings: dict[float, list[int]] = {}
+        self._value_postings_arrays: dict[float, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(
+        cls,
+        records: Sequence[Iterable[object]],
+        space_fraction: float = 0.10,
+        space_budget: float | None = None,
+        hasher: UnitHash | None = None,
+        seed: int = 0,
+    ) -> "KMVSearchIndex":
+        """Build the index with the Theorem-1 equal allocation ``k = ⌊b / m⌋``."""
+        materialized = [set(record) for record in records]
+        if not materialized:
+            raise EmptyDatasetError("cannot build an index over an empty dataset")
+        if any(len(record) == 0 for record in materialized):
+            raise ConfigurationError("records must be non-empty sets of elements")
+        if hasher is None:
+            hasher = UnitHash(seed=seed)
+        total_elements = sum(len(record) for record in materialized)
+        if space_budget is None:
+            if not 0.0 < space_fraction <= 1.0:
+                raise ConfigurationError("space_fraction must be in (0, 1]")
+            budget = space_fraction * total_elements
+        else:
+            if space_budget <= 0:
+                raise ConfigurationError("space_budget must be positive")
+            budget = float(space_budget)
+        k = max(int(budget // len(materialized)), 1)
+
+        index = cls(hasher=hasher, k_per_record=k, budget=budget)
+        for record in materialized:
+            index._add_record(record)
+        return index
+
+    def _add_record(self, record: set) -> int:
+        record_id = len(self._record_sizes)
+        hashes = np.unique(self._hasher.hash_many(list(record)))
+        kept = hashes[: self._k]
+        self._values.append(kept)
+        self._record_sizes.append(len(record))
+        for value in kept:
+            self._value_postings.setdefault(float(value), []).append(record_id)
+        self._value_postings_arrays = None
+        return record_id
+
+    # ------------------------------------------------------------ introspection
+    @property
+    def k_per_record(self) -> int:
+        """The per-record sketch capacity ``k = ⌊b / m⌋``."""
+        return self._k
+
+    @property
+    def num_records(self) -> int:
+        """Number of indexed records."""
+        return len(self._record_sizes)
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    def space_in_values(self) -> float:
+        """Actual space used, in signature-value units."""
+        return float(sum(arr.size for arr in self._values))
+
+    def space_fraction(self) -> float:
+        """Space used as a fraction of the dataset size."""
+        total = sum(self._record_sizes)
+        return self.space_in_values() / total if total else 0.0
+
+    # ----------------------------------------------------------------- search
+    def _finalize(self) -> None:
+        if self._value_postings_arrays is None:
+            self._value_postings_arrays = {
+                value: np.asarray(ids, dtype=np.int64)
+                for value, ids in self._value_postings.items()
+            }
+
+    def estimate_intersection(
+        self, query_values: np.ndarray, query_exact: bool, record_id: int
+    ) -> float:
+        """Equation-10 intersection estimate between a query sketch and a record.
+
+        ``query_exact`` says whether ``query_values`` is the query's complete
+        hash set (the query had at most ``k`` distinct elements); when both
+        sides are exact the overlap is counted exactly instead of estimated.
+        """
+        record_values = self._values[record_id]
+        record_exact = record_values.size >= self._record_sizes[record_id]
+        k = min(query_values.size, record_values.size)
+        if k == 0:
+            return 0.0
+        common = np.intersect1d(query_values, record_values, assume_unique=True)
+        if query_exact and record_exact:
+            return float(common.size)
+        if k < 2:
+            return float(common.size)
+        union_values = np.union1d(query_values, record_values)[:k]
+        u_k = float(union_values[-1])
+        k_cap = int(np.searchsorted(common, u_k, side="right"))
+        return (k_cap / k) * ((k - 1) / u_k)
+
+    def search(
+        self,
+        query: Iterable[object],
+        threshold: float,
+        query_size: int | None = None,
+    ) -> list[SearchResult]:
+        """Containment similarity search with the plain-KMV estimator."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError("threshold must be in [0, 1]")
+        query_elements = set(query)
+        if not query_elements:
+            raise ConfigurationError("query must contain at least one element")
+        q = len(query_elements) if query_size is None else int(query_size)
+        self._finalize()
+
+        query_hashes = np.unique(self._hasher.hash_many(list(query_elements)))
+        query_values = query_hashes[: self._k]
+        query_exact = query_hashes.size <= self._k
+
+        candidate_ids: set[int] = set()
+        assert self._value_postings_arrays is not None
+        for value in query_values:
+            postings = self._value_postings_arrays.get(float(value))
+            if postings is not None:
+                candidate_ids.update(int(record_id) for record_id in postings)
+
+        theta = threshold * q
+        results: list[SearchResult] = []
+        for record_id in sorted(candidate_ids):
+            estimate = self.estimate_intersection(query_values, query_exact, record_id)
+            if estimate >= theta * (1.0 - 1e-12):
+                results.append(
+                    SearchResult(record_id=record_id, score=float(estimate / q))
+                )
+        if theta <= 0.0:
+            present = {result.record_id for result in results}
+            for record_id in range(self.num_records):
+                if record_id not in present:
+                    results.append(SearchResult(record_id=record_id, score=0.0))
+        results.sort(key=lambda result: (-result.score, result.record_id))
+        return results
+
+
+class GKMVSearchIndex:
+    """G-KMV containment search: a GB-KMV index constrained to buffer size 0."""
+
+    def __init__(self, inner: GBKMVIndex) -> None:
+        self._inner = inner
+
+    @classmethod
+    def build(
+        cls,
+        records: Sequence[Iterable[object]],
+        space_fraction: float = 0.10,
+        space_budget: float | None = None,
+        hasher: UnitHash | None = None,
+        seed: int = 0,
+    ) -> "GKMVSearchIndex":
+        """Build G-KMV sketches under the given budget (no frequent-element buffer)."""
+        inner = GBKMVIndex.build(
+            records,
+            space_fraction=space_fraction,
+            space_budget=space_budget,
+            buffer_size=0,
+            hasher=hasher,
+            seed=seed,
+        )
+        return cls(inner)
+
+    @property
+    def inner(self) -> GBKMVIndex:
+        """The underlying zero-buffer GB-KMV index."""
+        return self._inner
+
+    @property
+    def threshold(self) -> float:
+        """The global hash-value threshold ``τ``."""
+        return self._inner.threshold
+
+    @property
+    def num_records(self) -> int:
+        """Number of indexed records."""
+        return self._inner.num_records
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    def space_in_values(self) -> float:
+        """Actual space used, in signature-value units."""
+        return self._inner.space_in_values()
+
+    def space_fraction(self) -> float:
+        """Space used as a fraction of the dataset size."""
+        return self._inner.space_fraction()
+
+    def search(
+        self,
+        query: Iterable[object],
+        threshold: float,
+        query_size: int | None = None,
+    ) -> list[SearchResult]:
+        """Containment similarity search with the G-KMV estimator (Eq. 24–26)."""
+        return self._inner.search(query, threshold, query_size=query_size)

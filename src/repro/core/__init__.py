@@ -1,0 +1,55 @@
+"""Core sketches: KMV, G-KMV and the paper's contribution GB-KMV.
+
+The central objects are:
+
+``KMVSketch``
+    The classic k-minimum-values synopsis of Beyer et al. with the union /
+    intersection estimators the paper builds on (Section II-C).
+``GKMVSketch``
+    A KMV sketch defined by a *global* hash-value threshold instead of a
+    per-record ``k`` (Section IV-A(2)).
+``FrequentElementBuffer`` and ``GBKMVSketch``
+    The augmented sketch: an exact bitmap over the globally most frequent
+    elements plus a G-KMV sketch over the residual elements
+    (Section IV-A(3)).
+``GBKMVIndex``
+    Algorithm 1 (construction) and Algorithm 2 (containment similarity
+    search) over a whole dataset, including the cost-model-driven choice
+    of buffer size.
+"""
+
+from repro.core.kmv import KMVSketch
+from repro.core.gkmv import GKMVSketch
+from repro.core.buffer import FrequentElementBuffer, FrequentElementVocabulary
+from repro.core.gbkmv import GBKMVSketch
+from repro.core.estimators import (
+    IntersectionEstimate,
+    estimate_containment,
+    estimate_intersection,
+    intersection_variance,
+)
+from repro.core.cost_model import (
+    BufferSizing,
+    average_variance,
+    choose_buffer_size,
+    residual_threshold,
+)
+from repro.core.index import GBKMVIndex, SearchResult
+
+__all__ = [
+    "KMVSketch",
+    "GKMVSketch",
+    "FrequentElementBuffer",
+    "FrequentElementVocabulary",
+    "GBKMVSketch",
+    "IntersectionEstimate",
+    "estimate_containment",
+    "estimate_intersection",
+    "intersection_variance",
+    "BufferSizing",
+    "average_variance",
+    "choose_buffer_size",
+    "residual_threshold",
+    "GBKMVIndex",
+    "SearchResult",
+]

@@ -1,0 +1,117 @@
+"""Free-standing estimators and variance formulas shared by the sketches.
+
+These are thin functional wrappers over the sketch methods plus the
+analytical variance of the KMV intersection estimator (Equation 11),
+packaged so that the evaluation harness and the theory module can reuse
+them without caring which concrete sketch class produced the numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro._errors import ConfigurationError, EstimationError
+
+
+@runtime_checkable
+class SupportsIntersection(Protocol):
+    """Anything that can estimate intersection size against its own kind."""
+
+    def intersection_size_estimate(self, other: "SupportsIntersection") -> float:
+        """Estimate the intersection size with another sketch."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass(frozen=True)
+class IntersectionEstimate:
+    """A point estimate of an intersection size together with its context.
+
+    Attributes
+    ----------
+    intersection:
+        Estimated ``|Q ∩ X|``.
+    containment:
+        Estimated ``C(Q, X)`` (``intersection / query_size``).
+    query_size:
+        The query size used for the containment normalisation.
+    """
+
+    intersection: float
+    containment: float
+    query_size: int
+
+
+def estimate_intersection(query_sketch, record_sketch) -> float:
+    """Estimate ``|Q ∩ X|`` from two compatible sketches."""
+    return float(query_sketch.intersection_size_estimate(record_sketch))
+
+
+def estimate_containment(query_sketch, record_sketch, query_size: int) -> IntersectionEstimate:
+    """Estimate containment similarity ``C(Q, X)`` from two compatible sketches.
+
+    Parameters
+    ----------
+    query_sketch, record_sketch:
+        Sketches of the query and of the candidate record.  Any of the
+        library's sketch types works as long as the two are of the same
+        kind and compatible.
+    query_size:
+        The exact query size ``|Q|`` (assumed known, Remark 1 of the paper).
+    """
+    if query_size <= 0:
+        raise ConfigurationError("query_size must be positive")
+    intersection = estimate_intersection(query_sketch, record_sketch)
+    return IntersectionEstimate(
+        intersection=intersection,
+        containment=intersection / float(query_size),
+        query_size=int(query_size),
+    )
+
+
+def intersection_variance(
+    intersection_size: float, union_size: float, k: int
+) -> float:
+    """Variance of the KMV intersection estimator (Equation 11).
+
+    ``Var[D̂∩] = D∩ (k·D∪ − k² − D∪ + k + D∩) / (k (k − 2))``
+
+    Parameters
+    ----------
+    intersection_size:
+        True (or assumed) intersection size ``D∩``.
+    union_size:
+        True (or assumed) union size ``D∪``.
+    k:
+        Sketch size used by the estimator; must be at least 3 for the
+        formula to be defined (the denominator contains ``k - 2``).
+
+    Raises
+    ------
+    EstimationError
+        If ``k < 3``.
+    ConfigurationError
+        If the sizes are negative or inconsistent
+        (``D∩ > D∪``).
+    """
+    if k < 3:
+        raise EstimationError(f"variance formula requires k >= 3, got {k}")
+    if intersection_size < 0 or union_size < 0:
+        raise ConfigurationError("sizes must be non-negative")
+    if intersection_size > union_size + 1e-9:
+        raise ConfigurationError("intersection size cannot exceed union size")
+    d_cap = float(intersection_size)
+    d_cup = float(union_size)
+    numerator = d_cap * (k * d_cup - k * k - d_cup + k + d_cap)
+    variance = numerator / (k * (k - 2))
+    # Numerical noise can push a tiny-true-variance slightly negative.
+    return max(variance, 0.0)
+
+
+def containment_variance(
+    intersection_size: float, union_size: float, k: int, query_size: int
+) -> float:
+    """Variance of the containment estimator ``D̂∩ / |Q|``."""
+    if query_size <= 0:
+        raise ConfigurationError("query_size must be positive")
+    return intersection_variance(intersection_size, union_size, k) / float(query_size) ** 2

@@ -1,0 +1,180 @@
+"""GB-KMV: the augmented sketch combining a frequent-element buffer with G-KMV.
+
+A GB-KMV sketch of a record ``X`` has two parts (Section IV-A(3), Fig. 4):
+
+* ``H_X`` — an exact bitmap over the ``r`` globally most frequent elements
+  (:class:`~repro.core.buffer.FrequentElementBuffer`);
+* ``L_X`` — a G-KMV sketch (global threshold ``τ``) over the *residual*
+  elements of ``X``, i.e. those not in the frequent vocabulary.
+
+The intersection size with a query ``Q`` is estimated as
+
+    |Q ∩ X|^ = |H_Q ∩ H_X|  +  D̂∩^GKMV            (Equation 27)
+
+with the first term exact (bitwise AND) and the second the G-KMV
+estimator over the residual sketches.  The containment similarity is then
+``|Q ∩ X|^ / |Q|``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro._errors import ConfigurationError, SketchCompatibilityError
+from repro.core.buffer import FrequentElementBuffer, FrequentElementVocabulary
+from repro.core.gkmv import GKMVSketch
+from repro.hashing import UnitHash
+
+
+class GBKMVSketch:
+    """The augmented KMV sketch of one record (buffer + G-KMV residual)."""
+
+    __slots__ = ("_buffer", "_residual", "_record_size")
+
+    def __init__(
+        self,
+        buffer: FrequentElementBuffer,
+        residual: GKMVSketch,
+        record_size: int,
+    ) -> None:
+        if record_size < 0:
+            raise ConfigurationError("record_size must be non-negative")
+        if buffer.count + residual.record_size > record_size:
+            raise ConfigurationError(
+                "buffer count plus residual record size exceeds the declared record size"
+            )
+        self._buffer = buffer
+        self._residual = residual
+        self._record_size = int(record_size)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_record(
+        cls,
+        record: Iterable[object],
+        vocabulary: FrequentElementVocabulary,
+        threshold: float,
+        hasher: UnitHash | None = None,
+    ) -> "GBKMVSketch":
+        """Build the GB-KMV sketch of a record.
+
+        Parameters
+        ----------
+        record:
+            The record's elements (duplicates are collapsed).
+        vocabulary:
+            Shared top-``r`` frequent-element vocabulary (``E_H``).
+        threshold:
+            Global hash-value threshold ``τ`` for the residual G-KMV part.
+        hasher:
+            Hash function shared by all sketches of the dataset.
+        """
+        if hasher is None:
+            hasher = UnitHash()
+        distinct = set(record)
+        buffer, residual_elements = vocabulary.split_record(distinct)
+        residual = GKMVSketch.from_record(
+            residual_elements, threshold=threshold, hasher=hasher
+        )
+        return cls(buffer=buffer, residual=residual, record_size=len(distinct))
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def buffer(self) -> FrequentElementBuffer:
+        """Exact bitmap over the frequent elements (``H_X``)."""
+        return self._buffer
+
+    @property
+    def residual(self) -> GKMVSketch:
+        """G-KMV sketch over the record's infrequent elements (``L_X``)."""
+        return self._residual
+
+    @property
+    def record_size(self) -> int:
+        """Number of distinct elements in the sketched record."""
+        return self._record_size
+
+    @property
+    def threshold(self) -> float:
+        """Global hash-value threshold of the residual sketch."""
+        return self._residual.threshold
+
+    @property
+    def vocabulary(self) -> FrequentElementVocabulary:
+        """The shared frequent-element vocabulary."""
+        return self._buffer.vocabulary
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the sketch captures the record exactly.
+
+        This happens when every residual element's hash value fell below
+        the global threshold; the buffer part is always exact.
+        """
+        return self._residual.is_exact
+
+    def memory_in_values(self) -> float:
+        """Space accounting in signature-value units (buffer bits count as r/32)."""
+        return self._residual.size + self.vocabulary.buffer_cost_in_values()
+
+    def __repr__(self) -> str:
+        return (
+            f"GBKMVSketch(record_size={self._record_size}, "
+            f"buffer_count={self._buffer.count}, residual_size={self._residual.size})"
+        )
+
+    # -- estimation --------------------------------------------------------
+    def _check_compatible(self, other: "GBKMVSketch") -> None:
+        if self.vocabulary != other.vocabulary:
+            raise SketchCompatibilityError(
+                "GB-KMV sketches built over different frequent-element vocabularies"
+            )
+
+    def intersection_size_estimate(self, other: "GBKMVSketch") -> float:
+        """Estimate ``|Q ∩ X|`` by Equation 27 (exact buffer + G-KMV residual)."""
+        self._check_compatible(other)
+        exact_part = self._buffer.intersection_count(other._buffer)
+        estimated_part = self._residual.intersection_size_estimate(other._residual)
+        return exact_part + estimated_part
+
+    def union_size_estimate(self, other: "GBKMVSketch") -> float:
+        """Estimate ``|Q ∪ X|`` (exact over the buffer, G-KMV over the residual)."""
+        self._check_compatible(other)
+        exact_part = self._buffer.union_count(other._buffer)
+        if self._residual.size == 0 and other._residual.size == 0:
+            # No residual information at all: the best available estimate is
+            # the buffer union plus the known residual record sizes.
+            return float(
+                exact_part
+                + self._residual.record_size
+                + other._residual.record_size
+            )
+        estimated_part = self._residual.union_size_estimate(other._residual)
+        return exact_part + estimated_part
+
+    def containment_estimate(self, other: "GBKMVSketch", query_size: int | None = None) -> float:
+        """Estimate ``C(Q, X) = |Q ∩ X| / |Q|`` with ``self`` as the query.
+
+        Parameters
+        ----------
+        other:
+            Sketch of the candidate record ``X``.
+        query_size:
+            Exact query size ``|Q|``.  Defaults to the sketched record
+            size, which is exact because sketches record it at build time.
+        """
+        q = self._record_size if query_size is None else int(query_size)
+        if q <= 0:
+            raise ConfigurationError("query size must be positive")
+        return self.intersection_size_estimate(other) / float(q)
+
+    def jaccard_estimate(self, other: "GBKMVSketch") -> float:
+        """Estimate the Jaccard similarity ``|Q ∩ X| / |Q ∪ X|``.
+
+        Provided for completeness; the containment search path never needs
+        it, but examples and baselines comparing similarity functions do.
+        """
+        union = self.union_size_estimate(other)
+        if union <= 0:
+            return 0.0
+        return min(1.0, self.intersection_size_estimate(other) / union)

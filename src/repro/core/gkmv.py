@@ -1,0 +1,230 @@
+"""G-KMV: a KMV sketch defined by a global hash-value threshold.
+
+Instead of keeping a fixed number ``k`` of minimum hash values per record,
+a G-KMV sketch keeps *every* hash value below a single dataset-wide
+threshold ``τ`` (Section IV-A(2)).  Because the same threshold applies to
+all records, the union of two sketches ``L_Q ∪ L_X`` is itself a valid
+KMV synopsis of ``Q ∪ X`` with ``k = |L_Q ∪ L_X|`` (Theorem 2), which is
+at least as large as the ``min(k_Q, k_X)`` of plain KMV and therefore has
+lower variance (Lemma 2, Theorem 3).
+
+Estimators (Equations 24–26):
+
+* ``k = |L_Q ∪ L_X|``, ``K∩ = |L_Q ∩ L_X|``, ``U(k)`` the largest value in
+  the union;
+* ``D̂∩ = (K∩ / k) · (k − 1) / U(k)``;
+* ``Ĉ(Q, X) = D̂∩ / |Q|``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro._errors import ConfigurationError, EstimationError, SketchCompatibilityError
+from repro.core.kmv import KMVSketch
+from repro.hashing import UnitHash
+
+
+class GKMVSketch:
+    """Global-threshold KMV sketch of one record.
+
+    Parameters
+    ----------
+    threshold:
+        The global hash-value threshold ``τ`` in ``(0, 1]``.  All hash
+        values ``h(e) <= τ`` of the record are retained.
+    values:
+        Sorted distinct retained hash values.
+    record_size:
+        Number of distinct elements in the sketched record.
+    hasher:
+        Hash function used; sketches with different hashers or thresholds
+        cannot be combined.
+    """
+
+    __slots__ = ("_threshold", "_values", "_record_size", "_hasher")
+
+    def __init__(
+        self,
+        threshold: float,
+        values: np.ndarray,
+        record_size: int,
+        hasher: UnitHash,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ConfigurationError(
+                f"global threshold must be in (0, 1], got {threshold}"
+            )
+        if record_size < 0:
+            raise ConfigurationError("record_size must be non-negative")
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ConfigurationError("values must be a one-dimensional array")
+        if arr.size and (arr.min() < 0.0 or arr.max() > threshold):
+            raise ConfigurationError(
+                "all retained hash values must lie in [0, threshold]"
+            )
+        if arr.size > 1 and not np.all(np.diff(arr) > 0):
+            raise ConfigurationError("values must be strictly increasing (sorted, distinct)")
+        self._threshold = float(threshold)
+        self._values = arr
+        self._record_size = int(record_size)
+        self._hasher = hasher
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_record(
+        cls,
+        record: Iterable[object],
+        threshold: float,
+        hasher: UnitHash | None = None,
+    ) -> "GKMVSketch":
+        """Build the G-KMV sketch of a record under global threshold ``τ``."""
+        if hasher is None:
+            hasher = UnitHash()
+        distinct = set(record)
+        hashes = np.unique(hasher.hash_many(list(distinct)))
+        kept = hashes[hashes <= threshold]
+        return cls(
+            threshold=threshold,
+            values=kept,
+            record_size=len(distinct),
+            hasher=hasher,
+        )
+
+    @classmethod
+    def from_hash_values(
+        cls,
+        hash_values: np.ndarray,
+        threshold: float,
+        record_size: int,
+        hasher: UnitHash | None = None,
+    ) -> "GKMVSketch":
+        """Build a sketch from pre-computed hash values of a record."""
+        if hasher is None:
+            hasher = UnitHash()
+        arr = np.unique(np.asarray(hash_values, dtype=np.float64))
+        kept = arr[arr <= threshold]
+        return cls(
+            threshold=threshold,
+            values=kept,
+            record_size=record_size,
+            hasher=hasher,
+        )
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def threshold(self) -> float:
+        """The global hash-value threshold ``τ``."""
+        return self._threshold
+
+    @property
+    def values(self) -> np.ndarray:
+        """Retained hash values, sorted ascending (read-only view)."""
+        view = self._values.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def size(self) -> int:
+        """Number of retained hash values."""
+        return int(self._values.size)
+
+    @property
+    def record_size(self) -> int:
+        """Number of distinct elements in the sketched record."""
+        return self._record_size
+
+    @property
+    def hasher(self) -> UnitHash:
+        """Hash function used to build the sketch."""
+        return self._hasher
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the sketch holds every hash value of the record."""
+        return self.size >= self._record_size
+
+    def memory_in_values(self) -> int:
+        """Space accounting: number of stored signature values."""
+        return self.size
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return (
+            f"GKMVSketch(threshold={self._threshold:.6g}, size={self.size}, "
+            f"record_size={self._record_size})"
+        )
+
+    # -- conversion --------------------------------------------------------
+    def as_kmv(self) -> KMVSketch:
+        """View this sketch as a plain KMV sketch with ``k = size``.
+
+        Theorem 2 guarantees the retained values are exactly the ``size``
+        smallest hash values of the record, so the conversion is lossless.
+        """
+        k = max(self.size, 1)
+        return KMVSketch(
+            k=k,
+            values=self._values,
+            record_size=self._record_size,
+            hasher=self._hasher,
+        )
+
+    # -- estimation --------------------------------------------------------
+    def _check_compatible(self, other: "GKMVSketch") -> None:
+        if self._hasher != other._hasher:
+            raise SketchCompatibilityError(
+                "cannot combine G-KMV sketches built with different hash functions"
+            )
+        if not np.isclose(self._threshold, other._threshold):
+            raise SketchCompatibilityError(
+                "cannot combine G-KMV sketches with different global thresholds "
+                f"({self._threshold} vs {other._threshold})"
+            )
+
+    def distinct_value_estimate(self) -> float:
+        """Estimate the number of distinct elements of the record."""
+        if self.is_exact:
+            return float(self._record_size)
+        if self.size < 2:
+            raise EstimationError(
+                "cannot estimate distinct values from a G-KMV sketch with fewer than 2 values"
+            )
+        return (self.size - 1) / float(self._values[-1])
+
+    def union_size_estimate(self, other: "GKMVSketch") -> float:
+        """Estimate ``|Q ∪ X|`` using the enlarged k of Equation 24."""
+        self._check_compatible(other)
+        if self.is_exact and other.is_exact:
+            return float(np.union1d(self._values, other._values).size)
+        union_values = np.union1d(self._values, other._values)
+        k = int(union_values.size)
+        if k < 2:
+            raise EstimationError("need at least 2 retained values to estimate union size")
+        return (k - 1) / float(union_values[-1])
+
+    def intersection_size_estimate(self, other: "GKMVSketch") -> float:
+        """Estimate ``|Q ∩ X|`` (Equation 25)."""
+        self._check_compatible(other)
+        if self.is_exact and other.is_exact:
+            return float(np.intersect1d(self._values, other._values).size)
+        union_values = np.union1d(self._values, other._values)
+        k = int(union_values.size)
+        if k < 2:
+            # With fewer than two observed values there is no information;
+            # report zero overlap rather than failing the whole search.
+            return 0.0
+        u_k = float(union_values[-1])
+        k_cap = int(np.intersect1d(self._values, other._values, assume_unique=True).size)
+        return (k_cap / k) * ((k - 1) / u_k)
+
+    def containment_estimate(self, other: "GKMVSketch", query_size: int) -> float:
+        """Estimate ``C(Q, X) = |Q ∩ X| / |Q|`` with ``self`` as the query (Eq. 26)."""
+        if query_size <= 0:
+            raise ConfigurationError("query_size must be positive")
+        return self.intersection_size_estimate(other) / float(query_size)

@@ -1,0 +1,527 @@
+"""The GB-KMV index: sketch construction and containment similarity search.
+
+This module implements Algorithm 1 (index construction) and Algorithm 2
+(containment similarity search) of the paper, together with the practical
+machinery a user needs: budget accounting, a cost-model-driven buffer
+size, an inverted index over sketch values so that queries only touch
+records sharing sketch content with the query, and dynamic insertion.
+
+Typical usage::
+
+    from repro.core import GBKMVIndex
+
+    index = GBKMVIndex.build(records, space_fraction=0.10)
+    results = index.search(query, threshold=0.5)
+    for hit in results:
+        print(hit.record_id, hit.score)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro._errors import ConfigurationError, EmptyDatasetError
+from repro.core.buffer import (
+    BITS_PER_SIGNATURE_UNIT,
+    FrequentElementBuffer,
+    FrequentElementVocabulary,
+)
+from repro.core.cost_model import choose_buffer_size, residual_threshold
+from repro.core.gbkmv import GBKMVSketch
+from repro.core.gkmv import GKMVSketch
+from repro.hashing import UnitHash
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One hit of a containment similarity search.
+
+    Attributes
+    ----------
+    record_id:
+        Position of the record in the indexed dataset.
+    score:
+        Estimated containment similarity ``Ĉ(Q, X)``.
+    """
+
+    record_id: int
+    score: float
+
+
+@dataclass(frozen=True)
+class IndexStatistics:
+    """Summary of a built index, used by the space/time benchmarks."""
+
+    num_records: int
+    total_elements: int
+    buffer_size: int
+    threshold: float
+    space_in_values: float
+    space_fraction: float
+    budget_in_values: float
+
+
+class GBKMVIndex:
+    """GB-KMV sketches plus an inverted index for containment search.
+
+    Build with :meth:`build` (which chooses the buffer size via the cost
+    model unless one is supplied) rather than calling ``__init__``
+    directly.
+    """
+
+    def __init__(
+        self,
+        vocabulary: FrequentElementVocabulary,
+        threshold: float,
+        hasher: UnitHash,
+        budget: float,
+    ) -> None:
+        self._vocabulary = vocabulary
+        self._threshold = float(threshold)
+        self._hasher = hasher
+        self._budget = float(budget)
+
+        # Per-record storage (parallel lists / arrays, index = record id).
+        self._buffer_masks: list[int] = []
+        self._residual_values: list[np.ndarray] = []
+        self._residual_record_sizes: list[int] = []
+        self._record_sizes: list[int] = []
+
+        # Inverted indexes: sketch hash value -> record ids, and frequent
+        # element bit position -> record ids.  Kept as growable lists and
+        # converted to arrays lazily at query time.
+        self._value_postings: dict[float, list[int]] = {}
+        self._bit_postings: list[list[int]] = [[] for _ in range(vocabulary.size)]
+        self._postings_finalized = False
+        self._value_postings_arrays: dict[float, np.ndarray] = {}
+        self._bit_postings_arrays: list[np.ndarray] = []
+
+        # Cached per-record scalars for the vectorised search path.
+        self._residual_sizes_arr: np.ndarray | None = None
+        self._residual_max_arr: np.ndarray | None = None
+        self._residual_exact_arr: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(
+        cls,
+        records: Sequence[Iterable[object]],
+        space_fraction: float = 0.10,
+        space_budget: float | None = None,
+        buffer_size: int | str = "auto",
+        hasher: UnitHash | None = None,
+        seed: int = 0,
+        cost_model_pair_sample: int = 256,
+    ) -> "GBKMVIndex":
+        """Algorithm 1: construct the GB-KMV index of a dataset.
+
+        Parameters
+        ----------
+        records:
+            The dataset ``S``; each record is an iterable of elements.
+        space_fraction:
+            Space budget as a fraction of the dataset size (total number
+            of per-record distinct elements), the measure used throughout
+            the paper's evaluation.  Ignored when ``space_budget`` is given.
+        space_budget:
+            Absolute budget ``b`` in signature-value units.
+        buffer_size:
+            Either an explicit ``r`` or ``"auto"`` to let the cost model of
+            Section IV-C6 choose it.
+        hasher:
+            Hash function shared by all sketches; defaults to a fixed-seed
+            :class:`~repro.hashing.UnitHash` derived from ``seed``.
+        seed:
+            Seed for the default hasher and the cost model sampling.
+        cost_model_pair_sample:
+            Number of record pairs the cost model averages over.
+        """
+        materialized = [set(record) for record in records]
+        if not materialized:
+            raise EmptyDatasetError("cannot build an index over an empty dataset")
+        if any(len(record) == 0 for record in materialized):
+            raise ConfigurationError("records must be non-empty sets of elements")
+        if hasher is None:
+            hasher = UnitHash(seed=seed)
+
+        record_sizes = np.array([len(r) for r in materialized], dtype=np.int64)
+        total_elements = int(record_sizes.sum())
+        if space_budget is None:
+            if not 0.0 < space_fraction <= 1.0:
+                raise ConfigurationError("space_fraction must be in (0, 1]")
+            budget = space_fraction * total_elements
+        else:
+            if space_budget <= 0:
+                raise ConfigurationError("space_budget must be positive")
+            budget = float(space_budget)
+
+        frequencies: Counter = Counter()
+        for record in materialized:
+            frequencies.update(record)
+
+        if buffer_size == "auto":
+            sizing = choose_buffer_size(
+                record_sizes,
+                np.array(list(frequencies.values()), dtype=np.float64),
+                budget,
+                pair_sample=cost_model_pair_sample,
+                seed=seed,
+            )
+            chosen_r = sizing.buffer_size
+        else:
+            chosen_r = int(buffer_size)
+            if chosen_r < 0:
+                raise ConfigurationError("buffer_size must be non-negative")
+
+        vocabulary = FrequentElementVocabulary.from_frequencies(frequencies, chosen_r)
+        buffer_cost = len(materialized) * vocabulary.size / BITS_PER_SIGNATURE_UNIT
+        residual_budget = max(budget - buffer_cost, 0.0)
+        residual_frequencies = {
+            element: count
+            for element, count in frequencies.items()
+            if element not in vocabulary
+        }
+        threshold = residual_threshold(residual_frequencies, residual_budget, hasher)
+
+        index = cls(
+            vocabulary=vocabulary,
+            threshold=threshold,
+            hasher=hasher,
+            budget=budget,
+        )
+        for record in materialized:
+            index._add_record(record)
+        return index
+
+    def _add_record(self, record: set) -> int:
+        """Insert one record's sketch; returns its record id."""
+        record_id = len(self._record_sizes)
+        buffer, residual_elements = self._vocabulary.split_record(record)
+        if residual_elements:
+            hashes = np.unique(self._hasher.hash_many(residual_elements))
+            kept = hashes[hashes <= self._threshold]
+        else:
+            kept = np.empty(0, dtype=np.float64)
+
+        self._buffer_masks.append(buffer.mask)
+        self._residual_values.append(kept)
+        self._residual_record_sizes.append(len(residual_elements))
+        self._record_sizes.append(len(record))
+
+        for value in kept:
+            self._value_postings.setdefault(float(value), []).append(record_id)
+        mask = buffer.mask
+        while mask:
+            low_bit = mask & -mask
+            position = low_bit.bit_length() - 1
+            self._bit_postings[position].append(record_id)
+            mask ^= low_bit
+        self._postings_finalized = False
+        self._residual_sizes_arr = None
+        return record_id
+
+    # ------------------------------------------------------------ introspection
+    @property
+    def num_records(self) -> int:
+        """Number of records indexed."""
+        return len(self._record_sizes)
+
+    @property
+    def vocabulary(self) -> FrequentElementVocabulary:
+        """The frequent-element vocabulary shared by all sketches."""
+        return self._vocabulary
+
+    @property
+    def buffer_size(self) -> int:
+        """The buffer size ``r`` chosen or supplied at build time."""
+        return self._vocabulary.size
+
+    @property
+    def threshold(self) -> float:
+        """The global hash-value threshold ``τ``."""
+        return self._threshold
+
+    @property
+    def hasher(self) -> UnitHash:
+        """The hash function shared by all sketches."""
+        return self._hasher
+
+    @property
+    def budget(self) -> float:
+        """The space budget ``b`` in signature-value units."""
+        return self._budget
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    def record_size(self, record_id: int) -> int:
+        """Distinct-element count of an indexed record."""
+        return self._record_sizes[record_id]
+
+    def record_sizes(self) -> np.ndarray:
+        """Distinct-element counts of every indexed record."""
+        return np.asarray(self._record_sizes, dtype=np.int64)
+
+    def space_in_values(self) -> float:
+        """Actual space used, in signature-value units (values + r/32 per record)."""
+        stored_values = sum(arr.size for arr in self._residual_values)
+        buffer_cost = self.num_records * self._vocabulary.size / BITS_PER_SIGNATURE_UNIT
+        return stored_values + buffer_cost
+
+    def space_fraction(self) -> float:
+        """Space used as a fraction of the dataset size."""
+        total_elements = sum(self._record_sizes)
+        if total_elements == 0:
+            return 0.0
+        return self.space_in_values() / total_elements
+
+    def statistics(self) -> IndexStatistics:
+        """Summary statistics of the built index."""
+        return IndexStatistics(
+            num_records=self.num_records,
+            total_elements=int(sum(self._record_sizes)),
+            buffer_size=self.buffer_size,
+            threshold=self._threshold,
+            space_in_values=self.space_in_values(),
+            space_fraction=self.space_fraction(),
+            budget_in_values=self._budget,
+        )
+
+    def sketch(self, record_id: int) -> GBKMVSketch:
+        """Materialise the GB-KMV sketch of an indexed record."""
+        buffer = FrequentElementBuffer(self._vocabulary, self._buffer_masks[record_id])
+        residual = GKMVSketch(
+            threshold=self._threshold,
+            values=self._residual_values[record_id],
+            record_size=self._residual_record_sizes[record_id],
+            hasher=self._hasher,
+        )
+        return GBKMVSketch(
+            buffer=buffer,
+            residual=residual,
+            record_size=self._record_sizes[record_id],
+        )
+
+    def sketches(self) -> Iterator[GBKMVSketch]:
+        """Iterate over the sketches of all indexed records."""
+        for record_id in range(self.num_records):
+            yield self.sketch(record_id)
+
+    # ---------------------------------------------------------------- updates
+    def insert(self, record: Iterable[object]) -> int:
+        """Insert a new record under the current vocabulary and threshold.
+
+        Returns the new record id.  The global threshold is *not*
+        recomputed automatically; call :meth:`refit_threshold` after a
+        batch of insertions to shrink the sketches back into the budget
+        (the dynamic-data procedure described at the end of Section IV-B).
+        """
+        materialized = set(record)
+        if not materialized:
+            raise ConfigurationError("cannot insert an empty record")
+        return self._add_record(materialized)
+
+    def refit_threshold(self) -> float:
+        """Recompute ``τ`` so the index fits its budget again, shrinking sketches.
+
+        Only lowers the threshold (hash values above the new ``τ`` are
+        dropped); raising it would require access to the original records.
+        Returns the new threshold.
+        """
+        buffer_cost = self.num_records * self._vocabulary.size / BITS_PER_SIGNATURE_UNIT
+        residual_budget = max(self._budget - buffer_cost, 0.0)
+        all_values = (
+            np.concatenate(self._residual_values)
+            if any(arr.size for arr in self._residual_values)
+            else np.empty(0, dtype=np.float64)
+        )
+        if all_values.size == 0:
+            return self._threshold
+        if all_values.size <= residual_budget:
+            return self._threshold
+        # The same hash value is stored once per containing record, so pick
+        # the largest distinct value whose cumulative occurrence count still
+        # fits in the budget.
+        unique_values, counts = np.unique(all_values, return_counts=True)
+        cumulative = np.cumsum(counts)
+        within = cumulative <= residual_budget
+        if not np.any(within):
+            new_threshold = float(np.finfo(np.float64).tiny)
+        else:
+            new_threshold = float(unique_values[np.nonzero(within)[0][-1]])
+        if new_threshold >= self._threshold:
+            return self._threshold
+        self._threshold = new_threshold
+        self._residual_values = [
+            arr[arr <= new_threshold] for arr in self._residual_values
+        ]
+        # Rebuild the value postings from scratch (bit postings are unchanged).
+        self._value_postings = {}
+        for record_id, arr in enumerate(self._residual_values):
+            for value in arr:
+                self._value_postings.setdefault(float(value), []).append(record_id)
+        self._postings_finalized = False
+        self._residual_sizes_arr = None
+        return self._threshold
+
+    # ----------------------------------------------------------------- search
+    def _finalize(self) -> None:
+        """Convert posting lists and per-record scalars to numpy arrays."""
+        if self._postings_finalized and self._residual_sizes_arr is not None:
+            return
+        self._value_postings_arrays = {
+            value: np.asarray(ids, dtype=np.int64)
+            for value, ids in self._value_postings.items()
+        }
+        self._bit_postings_arrays = [
+            np.asarray(ids, dtype=np.int64) for ids in self._bit_postings
+        ]
+        sizes = np.array([arr.size for arr in self._residual_values], dtype=np.int64)
+        maxima = np.array(
+            [float(arr[-1]) if arr.size else 0.0 for arr in self._residual_values],
+            dtype=np.float64,
+        )
+        exact = sizes >= np.asarray(self._residual_record_sizes, dtype=np.int64)
+        self._residual_sizes_arr = sizes
+        self._residual_max_arr = maxima
+        self._residual_exact_arr = exact
+        self._postings_finalized = True
+
+    def query_sketch(self, query: Iterable[object]) -> GBKMVSketch:
+        """Build the GB-KMV sketch of a query under the index's parameters."""
+        return GBKMVSketch.from_record(
+            query,
+            vocabulary=self._vocabulary,
+            threshold=self._threshold,
+            hasher=self._hasher,
+        )
+
+    def estimate_containment(self, query: Iterable[object], record_id: int) -> float:
+        """Estimate ``C(Q, X_record_id)`` for a single record."""
+        query_sketch = self.query_sketch(query)
+        return query_sketch.containment_estimate(self.sketch(record_id))
+
+    def search(
+        self,
+        query: Iterable[object],
+        threshold: float,
+        query_size: int | None = None,
+    ) -> list[SearchResult]:
+        """Algorithm 2: return records with estimated containment ``>= threshold``.
+
+        Parameters
+        ----------
+        query:
+            The query record ``Q``.
+        threshold:
+            The containment similarity threshold ``t*`` in ``[0, 1]``.
+        query_size:
+            Exact query size ``|Q|``; defaults to the number of distinct
+            elements in ``query`` (Remark 1: the query size is assumed
+            known).
+
+        Returns
+        -------
+        list[SearchResult]
+            Hits sorted by decreasing estimated containment similarity.
+        """
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError("threshold must be in [0, 1]")
+        query_elements = set(query)
+        if not query_elements:
+            raise ConfigurationError("query must contain at least one element")
+        q = len(query_elements) if query_size is None else int(query_size)
+        if q <= 0:
+            raise ConfigurationError("query_size must be positive")
+
+        self._finalize()
+        scores = self._score_all(query_elements)
+        theta = threshold * q
+        if theta <= 0.0:
+            hit_ids = np.arange(self.num_records)
+        else:
+            # Relative tolerance so exact integer estimates survive the float
+            # noise of ``threshold * q`` without admitting genuinely lower scores.
+            hit_ids = np.nonzero(scores >= theta * (1.0 - 1e-12))[0]
+        results = [
+            SearchResult(record_id=int(record_id), score=float(scores[record_id] / q))
+            for record_id in hit_ids
+        ]
+        results.sort(key=lambda result: (-result.score, result.record_id))
+        return results
+
+    def top_k(self, query: Iterable[object], k: int, query_size: int | None = None) -> list[SearchResult]:
+        """Return the ``k`` records with the highest estimated containment.
+
+        A convenience companion to threshold search, useful for the domain
+        search example where the user wants the best few matches.
+        """
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        query_elements = set(query)
+        if not query_elements:
+            raise ConfigurationError("query must contain at least one element")
+        q = len(query_elements) if query_size is None else int(query_size)
+        self._finalize()
+        scores = self._score_all(query_elements) / q
+        order = np.argsort(-scores, kind="stable")[:k]
+        return [
+            SearchResult(record_id=int(record_id), score=float(scores[record_id]))
+            for record_id in order
+        ]
+
+    def _score_all(self, query_elements: set) -> np.ndarray:
+        """Estimated intersection size of the query with every record.
+
+        Records sharing no sketch content with the query score 0, so the
+        inverted index only needs to touch posting lists of the query's
+        own sketch values and buffer bits.
+        """
+        num_records = self.num_records
+        query_sketch = self.query_sketch(query_elements)
+        q_values = query_sketch.residual.values
+        q_size = q_values.size
+        q_max = float(q_values[-1]) if q_size else 0.0
+        q_exact = query_sketch.residual.is_exact
+        q_mask = query_sketch.buffer.mask
+
+        buffer_overlap = np.zeros(num_records, dtype=np.float64)
+        mask = q_mask
+        while mask:
+            low_bit = mask & -mask
+            position = low_bit.bit_length() - 1
+            postings = self._bit_postings_arrays[position]
+            if postings.size:
+                np.add.at(buffer_overlap, postings, 1.0)
+            mask ^= low_bit
+
+        k_cap = np.zeros(num_records, dtype=np.float64)
+        for value in q_values:
+            postings = self._value_postings_arrays.get(float(value))
+            if postings is not None and postings.size:
+                np.add.at(k_cap, postings, 1.0)
+
+        sizes = self._residual_sizes_arr.astype(np.float64)
+        maxima = self._residual_max_arr
+        exact = self._residual_exact_arr
+
+        # k of Equation 24: |L_Q ∪ L_X| = |L_Q| + |L_X| − K∩; U(k) is the
+        # largest hash value in the union because all values are <= τ.
+        k_union = q_size + sizes - k_cap
+        u_k = np.maximum(maxima, q_max)
+
+        residual_estimate = np.zeros(num_records, dtype=np.float64)
+        both_exact = exact & q_exact
+        residual_estimate[both_exact] = k_cap[both_exact]
+
+        estimable = (~both_exact) & (k_union >= 2) & (u_k > 0.0)
+        if np.any(estimable):
+            ku = k_union[estimable]
+            residual_estimate[estimable] = (
+                (k_cap[estimable] / ku) * ((ku - 1.0) / u_k[estimable])
+            )
+        return buffer_overlap + residual_estimate

@@ -1,0 +1,276 @@
+"""The k-minimum-values (KMV) sketch of Beyer et al. (SIGMOD 2007).
+
+A KMV synopsis of a record ``X`` under a hash function ``h`` is the set of
+the ``k`` smallest distinct hash values of the elements of ``X``.  From it
+the number of distinct elements is estimated as ``(k - 1) / U(k)`` where
+``U(k)`` is the k-th smallest kept hash value (Equation 9 of the paper).
+
+Two synopses combine with the ``⊕`` operator — keep the ``k`` smallest
+values of the union where ``k = min(k_X, k_Y)`` (Equation 8) — giving
+union and intersection size estimators (Equations 9–10) whose variance is
+Equation 11.  These estimators are what both the plain-KMV baseline and
+the G-KMV / GB-KMV sketches are built on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro._errors import ConfigurationError, EstimationError, SketchCompatibilityError
+from repro.hashing import UnitHash
+
+
+class KMVSketch:
+    """A k-minimum-values synopsis of one record.
+
+    Instances are immutable once built.  The sketch remembers whether it is
+    *exact*, i.e. whether the underlying record had at most ``k`` distinct
+    elements so that every hash value of the record is present; exact
+    sketches short-circuit the estimators to exact answers.
+
+    Parameters
+    ----------
+    k:
+        Capacity — the maximum number of minimum hash values retained.
+    values:
+        Sorted (ascending) distinct hash values actually retained, at most
+        ``k`` of them.
+    record_size:
+        Number of distinct elements in the original record.
+    hasher:
+        The hash function the values came from; combining sketches built
+        with different hashers is rejected.
+    """
+
+    __slots__ = ("_k", "_values", "_record_size", "_hasher")
+
+    def __init__(
+        self,
+        k: int,
+        values: np.ndarray,
+        record_size: int,
+        hasher: UnitHash,
+    ) -> None:
+        if k < 1:
+            raise ConfigurationError(f"KMV capacity k must be >= 1, got {k}")
+        if record_size < 0:
+            raise ConfigurationError("record_size must be non-negative")
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ConfigurationError("values must be a one-dimensional array")
+        if arr.size > k:
+            raise ConfigurationError(
+                f"sketch holds {arr.size} values but capacity is only {k}"
+            )
+        if arr.size and (arr.min() < 0.0 or arr.max() >= 1.0):
+            raise ConfigurationError("hash values must lie in [0, 1)")
+        if arr.size > 1 and not np.all(np.diff(arr) > 0):
+            raise ConfigurationError("values must be strictly increasing (sorted, distinct)")
+        self._k = int(k)
+        self._values = arr
+        self._record_size = int(record_size)
+        self._hasher = hasher
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_record(
+        cls, record: Iterable[object], k: int, hasher: UnitHash | None = None
+    ) -> "KMVSketch":
+        """Build the size-``k`` KMV sketch of a record.
+
+        Duplicate elements in ``record`` are collapsed (the sketch is a
+        synopsis of the *set* of elements).
+        """
+        if hasher is None:
+            hasher = UnitHash()
+        distinct = set(record)
+        hashes = hasher.hash_many(list(distinct))
+        hashes = np.unique(hashes)  # sorted ascending, collision-collapsed
+        kept = hashes[: int(k)] if k >= 1 else hashes[:0]
+        return cls(k=k, values=kept, record_size=len(distinct), hasher=hasher)
+
+    @classmethod
+    def from_hash_values(
+        cls,
+        hash_values: Sequence[float] | np.ndarray,
+        k: int,
+        record_size: int | None = None,
+        hasher: UnitHash | None = None,
+    ) -> "KMVSketch":
+        """Build a sketch directly from pre-computed hash values.
+
+        Useful in tests and in higher-level sketches that hash once and
+        reuse the values.
+        """
+        if hasher is None:
+            hasher = UnitHash()
+        arr = np.unique(np.asarray(hash_values, dtype=np.float64))
+        size = int(record_size) if record_size is not None else int(arr.size)
+        return cls(k=k, values=arr[: int(k)], record_size=size, hasher=hasher)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Capacity of the sketch."""
+        return self._k
+
+    @property
+    def values(self) -> np.ndarray:
+        """Retained hash values, sorted ascending (read-only view)."""
+        view = self._values.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def size(self) -> int:
+        """Number of hash values actually retained (``<= k``)."""
+        return int(self._values.size)
+
+    @property
+    def record_size(self) -> int:
+        """Number of distinct elements in the sketched record."""
+        return self._record_size
+
+    @property
+    def hasher(self) -> UnitHash:
+        """Hash function used to build the sketch."""
+        return self._hasher
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the sketch holds every hash value of the record."""
+        return self.size >= self._record_size
+
+    @property
+    def kth_value(self) -> float:
+        """The largest retained hash value ``U(k)``.
+
+        Raises
+        ------
+        EstimationError
+            If the sketch is empty.
+        """
+        if self.size == 0:
+            raise EstimationError("empty KMV sketch has no k-th value")
+        return float(self._values[-1])
+
+    def memory_in_values(self) -> int:
+        """Space accounting: number of stored signature values."""
+        return self.size
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return (
+            f"KMVSketch(k={self._k}, size={self.size}, "
+            f"record_size={self._record_size}, exact={self.is_exact})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KMVSketch):
+            return NotImplemented
+        return (
+            self._k == other._k
+            and self._record_size == other._record_size
+            and self._hasher == other._hasher
+            and np.array_equal(self._values, other._values)
+        )
+
+    # -- estimation --------------------------------------------------------
+    def _check_compatible(self, other: "KMVSketch") -> None:
+        if self._hasher != other._hasher:
+            raise SketchCompatibilityError(
+                "cannot combine KMV sketches built with different hash functions"
+            )
+
+    def distinct_value_estimate(self) -> float:
+        """Estimate the number of distinct elements in the record.
+
+        Uses the unbiased estimator ``(k - 1) / U(k)`` when the sketch is
+        saturated, and the exact count when the sketch retains every hash
+        value of the record.
+        """
+        if self.is_exact:
+            return float(self._record_size)
+        if self.size < 2:
+            raise EstimationError(
+                "cannot estimate distinct values from a sketch with fewer than 2 values"
+            )
+        return (self.size - 1) / self.kth_value
+
+    def merge(self, other: "KMVSketch") -> "KMVSketch":
+        """The ``⊕`` operator: KMV sketch of the union of the two records.
+
+        Follows Equation 8: the result keeps the ``min(k_X, k_Y)`` smallest
+        hash values of ``L_X ∪ L_Y``.  When both inputs are exact the
+        result is exact as well (it is simply the union of hash values,
+        capacity permitting).
+        """
+        self._check_compatible(other)
+        union_values = np.union1d(self._values, other._values)
+        if self.is_exact and other.is_exact:
+            # The union of two complete hash sets is the complete hash set of
+            # the set union; keep as many as the combined capacity allows.
+            k = self._k + other._k
+            union_size = int(union_values.size)
+            return KMVSketch(
+                k=max(k, union_size),
+                values=union_values,
+                record_size=union_size,
+                hasher=self._hasher,
+            )
+        k = min(self.size, other.size) if min(self.size, other.size) > 0 else 0
+        kept = union_values[:k]
+        # Union record size is unknown in general; record the best lower bound.
+        union_record_size = max(self._record_size, other._record_size)
+        return KMVSketch(
+            k=max(k, 1),
+            values=kept,
+            record_size=max(union_record_size, int(kept.size)),
+            hasher=self._hasher,
+        )
+
+    def union_size_estimate(self, other: "KMVSketch") -> float:
+        """Estimate ``|X ∪ Y|`` (Equation 9)."""
+        self._check_compatible(other)
+        if self.is_exact and other.is_exact:
+            return float(np.union1d(self._values, other._values).size)
+        k = min(self.size, other.size)
+        if k < 2:
+            raise EstimationError("need at least 2 shared sketch slots to estimate union size")
+        union_values = np.union1d(self._values, other._values)[:k]
+        u_k = float(union_values[-1])
+        return (k - 1) / u_k
+
+    def intersection_size_estimate(self, other: "KMVSketch") -> float:
+        """Estimate ``|X ∩ Y|`` (Equation 10)."""
+        self._check_compatible(other)
+        if self.is_exact and other.is_exact:
+            return float(np.intersect1d(self._values, other._values).size)
+        k = min(self.size, other.size)
+        if k < 2:
+            raise EstimationError(
+                "need at least 2 shared sketch slots to estimate intersection size"
+            )
+        union_values = np.union1d(self._values, other._values)[:k]
+        u_k = float(union_values[-1])
+        common = np.intersect1d(self._values, other._values, assume_unique=True)
+        k_cap = int(np.searchsorted(common, u_k, side="right"))
+        return (k_cap / k) * ((k - 1) / u_k)
+
+    def containment_estimate(self, other: "KMVSketch", query_size: int) -> float:
+        """Estimate ``C(Q, X) = |Q ∩ X| / |Q|`` with ``self`` as the query.
+
+        Parameters
+        ----------
+        other:
+            Sketch of the candidate record ``X``.
+        query_size:
+            Exact size of the query record (assumed known, as in the paper).
+        """
+        if query_size <= 0:
+            raise ConfigurationError("query_size must be positive")
+        return self.intersection_size_estimate(other) / float(query_size)

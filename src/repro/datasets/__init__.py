@@ -1,0 +1,64 @@
+"""Dataset substrate: synthetic generators, power-law tools, proxies and workloads.
+
+The paper evaluates on seven real-life set-valued datasets (Table II).
+Those corpora are not redistributable here, so the benchmarks run on
+*proxy* datasets: synthetic corpora whose record-size and
+element-frequency distributions match the power-law exponents the paper
+reports for each real dataset (α1 for element frequency, α2 for record
+size), at laptop scale.  Section IV-C1 of the paper models the data with
+exactly these two distributions, so the proxies exercise the same regime
+the analysis and the real experiments cover.
+
+Public API
+----------
+``generate_zipf_dataset`` / ``generate_uniform_dataset``
+    Synthetic corpora with power-law or uniform record sizes and element
+    frequencies.
+``DatasetProfile`` / ``DATASET_PROFILES`` / ``load_proxy``
+    Named proxies for the paper's seven datasets.
+``fit_power_law_exponent`` / ``element_frequencies`` / ``record_sizes``
+    The statistics Table II reports, computed from any dataset.
+``sample_queries`` / ``QueryWorkload``
+    Query workloads drawn from the dataset (the paper draws 200 random
+    records as queries).
+``save_records`` / ``load_records``
+    Simple whitespace-token text format for persisting datasets.
+"""
+
+from repro.datasets.generators import (
+    generate_uniform_dataset,
+    generate_zipf_dataset,
+)
+from repro.datasets.powerlaw import (
+    element_frequencies,
+    fit_power_law_exponent,
+    record_sizes,
+    zipf_probabilities,
+    zipf_sizes,
+)
+from repro.datasets.proxies import (
+    DATASET_PROFILES,
+    DatasetProfile,
+    dataset_characteristics,
+    load_proxy,
+)
+from repro.datasets.workload import QueryWorkload, sample_queries
+from repro.datasets.loaders import load_records, save_records
+
+__all__ = [
+    "generate_zipf_dataset",
+    "generate_uniform_dataset",
+    "element_frequencies",
+    "record_sizes",
+    "fit_power_law_exponent",
+    "zipf_probabilities",
+    "zipf_sizes",
+    "DatasetProfile",
+    "DATASET_PROFILES",
+    "dataset_characteristics",
+    "load_proxy",
+    "QueryWorkload",
+    "sample_queries",
+    "save_records",
+    "load_records",
+]

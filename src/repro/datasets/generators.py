@@ -1,0 +1,130 @@
+"""Synthetic set-valued dataset generators.
+
+Two generators cover the regimes the paper evaluates:
+
+``generate_zipf_dataset``
+    Record sizes follow a bounded power law with exponent ``α2`` and each
+    record's elements are drawn from a Zipf-distributed universe with
+    exponent ``α1`` — the model of Section IV-C1 and the synthetic
+    datasets of Figure 16.
+``generate_uniform_dataset``
+    Record sizes uniform in a range and elements uniform over the
+    universe — the uniform-distribution experiment of Figure 19(a).
+
+Records are returned as lists of integer element identifiers
+(``0 .. universe_size − 1``); integers keep hashing fast and memory low
+without changing any behaviour relative to string tokens.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro._errors import ConfigurationError
+from repro.datasets.powerlaw import zipf_probabilities, zipf_sizes
+
+Record = List[int]
+
+
+def _sample_record(
+    size: int,
+    universe_size: int,
+    cumulative: np.ndarray | None,
+    rng: np.random.Generator,
+) -> Record:
+    """Sample one record of ``size`` distinct elements.
+
+    Sampling without replacement from a skewed distribution is done by
+    oversampling with replacement (inverse-CDF draws against a shared
+    cumulative table) and deduplicating in draw order, topping up until
+    the requested size is reached.
+    """
+    target = min(size, universe_size)
+    chosen: dict[int, None] = {}
+    while len(chosen) < target:
+        needed = target - len(chosen)
+        batch = max(2 * needed, 8)
+        if cumulative is None:
+            draw = rng.integers(0, universe_size, size=batch)
+        else:
+            draw = np.searchsorted(cumulative, rng.random(batch), side="right")
+            draw = np.minimum(draw, universe_size - 1)
+        for element in draw:
+            if len(chosen) >= target:
+                break
+            chosen.setdefault(int(element), None)
+    return sorted(chosen)
+
+
+def generate_zipf_dataset(
+    num_records: int,
+    universe_size: int,
+    element_exponent: float = 1.1,
+    size_exponent: float = 2.5,
+    min_record_size: int = 10,
+    max_record_size: int = 500,
+    seed: int = 0,
+) -> list[Record]:
+    """Generate a dataset with power-law record sizes and element frequencies.
+
+    Parameters
+    ----------
+    num_records:
+        Number of records ``m``.
+    universe_size:
+        Number of distinct elements ``n`` available.
+    element_exponent:
+        Zipf exponent ``α1`` of the element-selection distribution
+        (``0`` = uniform; the paper's real datasets have α1 ≈ 1.1–1.3).
+    size_exponent:
+        Power-law exponent ``α2`` of the record-size distribution
+        (the paper's datasets range from ≈ 1.8 to ≈ 9.3).
+    min_record_size, max_record_size:
+        Support of the record-size distribution.  The paper discards
+        records smaller than 10 elements, hence the default minimum.
+    seed:
+        Seed controlling both sizes and element draws.
+    """
+    if num_records < 1:
+        raise ConfigurationError("num_records must be >= 1")
+    if universe_size < max_record_size:
+        raise ConfigurationError(
+            "universe_size must be at least max_record_size so records can be filled"
+        )
+    rng = np.random.default_rng(seed)
+    sizes = zipf_sizes(
+        num_records, min_record_size, max_record_size, size_exponent, rng
+    )
+    if element_exponent == 0:
+        cumulative = None
+    else:
+        probabilities = zipf_probabilities(universe_size, element_exponent)
+        cumulative = np.cumsum(probabilities)
+    return [
+        _sample_record(int(size), universe_size, cumulative, rng) for size in sizes
+    ]
+
+
+def generate_uniform_dataset(
+    num_records: int,
+    universe_size: int,
+    min_record_size: int = 10,
+    max_record_size: int = 500,
+    seed: int = 0,
+) -> list[Record]:
+    """Generate a dataset with uniform record sizes and element frequencies.
+
+    This is the α1 = α2 = 0 configuration used by the supplementary
+    experiment of Figure 19(a).
+    """
+    return generate_zipf_dataset(
+        num_records=num_records,
+        universe_size=universe_size,
+        element_exponent=0.0,
+        size_exponent=0.0,
+        min_record_size=min_record_size,
+        max_record_size=max_record_size,
+        seed=seed,
+    )

@@ -1,0 +1,66 @@
+"""Reading and writing set-valued datasets as plain text.
+
+One record per line, elements separated by whitespace.  Integer-looking
+tokens are loaded back as integers so round-tripping the synthetic
+datasets is lossless; everything else stays a string.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro._errors import DatasetFormatError
+
+
+def save_records(records: Sequence[Iterable[object]], path: str | Path) -> None:
+    """Write records to a text file, one whitespace-separated record per line."""
+    destination = Path(path)
+    with destination.open("w", encoding="utf-8") as handle:
+        for record in records:
+            tokens = [str(element) for element in record]
+            for token in tokens:
+                if any(ch.isspace() for ch in token):
+                    raise DatasetFormatError(
+                        f"element {token!r} contains whitespace and cannot be serialised"
+                    )
+            handle.write(" ".join(tokens))
+            handle.write("\n")
+
+
+def _parse_token(token: str) -> object:
+    if token.lstrip("-").isdigit():
+        return int(token)
+    return token
+
+
+def load_records(
+    path: str | Path, min_record_size: int = 1, skip_empty: bool = True
+) -> list[list[object]]:
+    """Read records from a text file written by :func:`save_records`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    min_record_size:
+        Records with fewer distinct elements are discarded (the paper
+        drops records with fewer than 10 elements).
+    skip_empty:
+        Silently skip blank lines instead of raising.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise DatasetFormatError(f"dataset file {source} does not exist")
+    records: list[list[object]] = []
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            tokens = line.split()
+            if not tokens:
+                if skip_empty:
+                    continue
+                raise DatasetFormatError(f"empty record on line {line_number} of {source}")
+            record = [_parse_token(token) for token in tokens]
+            if len(set(record)) >= min_record_size:
+                records.append(record)
+    return records

@@ -1,0 +1,93 @@
+"""Query workloads for the containment similarity search experiments.
+
+The paper evaluates every method with 200 queries drawn uniformly at
+random from the dataset itself (Section V-A, "the query Q is randomly
+chosen from the records").  :func:`sample_queries` reproduces that and
+:class:`QueryWorkload` bundles the queries with their exact ground-truth
+result sets so accuracy metrics can be computed for any searcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._errors import ConfigurationError, EmptyDatasetError
+from repro.exact.frequent_set import FrequentSetSearcher
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """Queries plus exact ground truth at a fixed containment threshold.
+
+    Attributes
+    ----------
+    queries:
+        The query records (each a list of elements).
+    query_record_ids:
+        For queries drawn from the dataset, the id of the source record
+        (``-1`` for external queries).
+    threshold:
+        The containment similarity threshold the ground truth was
+        computed at.
+    ground_truth:
+        For each query, the set of record ids whose exact containment
+        similarity is at least the threshold.
+    """
+
+    queries: tuple[tuple[object, ...], ...]
+    query_record_ids: tuple[int, ...]
+    threshold: float
+    ground_truth: tuple[frozenset[int], ...]
+
+    @property
+    def num_queries(self) -> int:
+        """Number of queries in the workload."""
+        return len(self.queries)
+
+
+def sample_queries(
+    records: Sequence[Sequence[object]],
+    num_queries: int = 200,
+    seed: int = 13,
+) -> tuple[list[list[object]], list[int]]:
+    """Draw queries uniformly at random from the dataset's records.
+
+    Returns the queries and the ids of the records they were drawn from.
+    Sampling is with replacement when ``num_queries`` exceeds the dataset
+    size, matching the paper's setup of 200 random queries.
+    """
+    if not records:
+        raise EmptyDatasetError("cannot sample queries from an empty dataset")
+    if num_queries < 1:
+        raise ConfigurationError("num_queries must be >= 1")
+    rng = np.random.default_rng(seed)
+    replace = num_queries > len(records)
+    ids = rng.choice(len(records), size=num_queries, replace=replace)
+    queries = [list(records[int(record_id)]) for record_id in ids]
+    return queries, [int(record_id) for record_id in ids]
+
+
+def build_workload(
+    records: Sequence[Sequence[object]],
+    threshold: float,
+    num_queries: int = 200,
+    seed: int = 13,
+) -> QueryWorkload:
+    """Sample queries and compute their exact ground-truth result sets."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ConfigurationError("threshold must be in [0, 1]")
+    queries, query_ids = sample_queries(records, num_queries=num_queries, seed=seed)
+    oracle = FrequentSetSearcher(records)
+    truth = []
+    for query in queries:
+        hits = oracle.search(query, threshold)
+        truth.append(frozenset(hit.record_id for hit in hits))
+    return QueryWorkload(
+        queries=tuple(tuple(query) for query in queries),
+        query_record_ids=tuple(query_ids),
+        threshold=float(threshold),
+        ground_truth=tuple(truth),
+    )

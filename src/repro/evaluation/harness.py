@@ -1,0 +1,172 @@
+"""Experiment harness: run a searcher over a workload and measure everything.
+
+The benchmark modules in ``benchmarks/`` all follow the same recipe:
+
+1. build (or load) a dataset,
+2. sample a query workload and compute its exact ground truth,
+3. build one index per method under the experiment's space setting,
+4. run every query through every method, and
+5. aggregate precision / recall / F_1 / F_0.5, per-query time, space used
+   and construction time.
+
+Steps 2–5 live here so the benchmark files stay declarative: they state
+what the paper's figure varies and print the resulting rows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro._errors import ConfigurationError
+from repro.evaluation.ground_truth import exact_result_sets
+from repro.evaluation.metrics import ConfusionCounts, f_score
+
+
+@runtime_checkable
+class Searcher(Protocol):
+    """Anything with a ``search(query, threshold)`` method returning scored hits."""
+
+    def search(self, query, threshold, query_size=None):  # pragma: no cover - protocol
+        """Return hits with ``record_id`` attributes (or plain record ids)."""
+        ...
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Averaged accuracy of one method over one workload."""
+
+    precision: float
+    recall: float
+    f1: float
+    f05: float
+    per_query_precision: tuple[float, ...]
+    per_query_recall: tuple[float, ...]
+    per_query_f1: tuple[float, ...]
+
+    @property
+    def f1_min(self) -> float:
+        """Worst per-query F1 (Figure 14 reports min / avg / max)."""
+        return min(self.per_query_f1) if self.per_query_f1 else 0.0
+
+    @property
+    def f1_max(self) -> float:
+        """Best per-query F1."""
+        return max(self.per_query_f1) if self.per_query_f1 else 0.0
+
+
+@dataclass(frozen=True)
+class MethodEvaluation:
+    """Accuracy plus cost measurements of one method on one experiment point."""
+
+    method: str
+    accuracy: AccuracyReport
+    avg_query_seconds: float
+    space_in_values: float
+    space_fraction: float
+    construction_seconds: float
+
+
+def _result_ids(hits: Iterable) -> set[int]:
+    """Normalise a searcher's output to a set of record ids."""
+    ids: set[int] = set()
+    for hit in hits:
+        record_id = getattr(hit, "record_id", hit)
+        ids.add(int(record_id))
+    return ids
+
+
+def measure_accuracy(
+    answers: Sequence[Iterable[int]],
+    ground_truth: Sequence[Iterable[int]],
+) -> AccuracyReport:
+    """Average per-query precision / recall / F-scores over a workload."""
+    if len(answers) != len(ground_truth):
+        raise ConfigurationError("answers and ground_truth must have the same length")
+    precisions: list[float] = []
+    recalls: list[float] = []
+    f1s: list[float] = []
+    f05s: list[float] = []
+    for answer, truth in zip(answers, ground_truth):
+        counts = ConfusionCounts.from_sets(truth, answer)
+        precisions.append(counts.precision)
+        recalls.append(counts.recall)
+        f1s.append(counts.f_score(1.0))
+        f05s.append(counts.f_score(0.5))
+    return AccuracyReport(
+        precision=float(np.mean(precisions)) if precisions else 0.0,
+        recall=float(np.mean(recalls)) if recalls else 0.0,
+        f1=float(np.mean(f1s)) if f1s else 0.0,
+        f05=float(np.mean(f05s)) if f05s else 0.0,
+        per_query_precision=tuple(precisions),
+        per_query_recall=tuple(recalls),
+        per_query_f1=tuple(f1s),
+    )
+
+
+def evaluate_search_method(
+    method_name: str,
+    searcher: Searcher,
+    queries: Sequence[Sequence[object]],
+    ground_truth: Sequence[Iterable[int]],
+    threshold: float,
+    construction_seconds: float = 0.0,
+) -> MethodEvaluation:
+    """Run every query through a searcher and aggregate accuracy and timing."""
+    if len(queries) != len(ground_truth):
+        raise ConfigurationError("queries and ground_truth must have the same length")
+    answers: list[set[int]] = []
+    start = time.perf_counter()
+    for query in queries:
+        hits = searcher.search(query, threshold)
+        answers.append(_result_ids(hits))
+    elapsed = time.perf_counter() - start
+    accuracy = measure_accuracy(answers, ground_truth)
+
+    space_in_values = float(getattr(searcher, "space_in_values", lambda: 0.0)())
+    space_fraction = float(getattr(searcher, "space_fraction", lambda: 0.0)())
+    return MethodEvaluation(
+        method=method_name,
+        accuracy=accuracy,
+        avg_query_seconds=elapsed / max(len(queries), 1),
+        space_in_values=space_in_values,
+        space_fraction=space_fraction,
+        construction_seconds=construction_seconds,
+    )
+
+
+def run_experiment(
+    records: Sequence[Sequence[object]],
+    queries: Sequence[Sequence[object]],
+    threshold: float,
+    methods: dict[str, Callable[[], Searcher]],
+) -> dict[str, MethodEvaluation]:
+    """Build every method, evaluate it, and return the results keyed by name.
+
+    ``methods`` maps a display name to a zero-argument builder so that the
+    harness can time construction itself.
+    """
+    ground_truth = exact_result_sets(records, queries, threshold)
+    evaluations: dict[str, MethodEvaluation] = {}
+    for name, builder in methods.items():
+        built, construction_seconds = time_construction(builder)
+        evaluations[name] = evaluate_search_method(
+            name,
+            built,
+            queries,
+            ground_truth,
+            threshold,
+            construction_seconds=construction_seconds,
+        )
+    return evaluations
+
+
+def time_construction(builder: Callable[[], Searcher]) -> tuple[Searcher, float]:
+    """Build an index and report the wall-clock construction time."""
+    start = time.perf_counter()
+    built = builder()
+    elapsed = time.perf_counter() - start
+    return built, elapsed

@@ -1,0 +1,88 @@
+"""Accuracy metrics for containment similarity search (Section V-A).
+
+Given the ground-truth result set ``T`` and the returned set ``A`` for a
+query, the paper evaluates
+
+* ``Precision = |T ∩ A| / |A|``,
+* ``Recall    = |T ∩ A| / |T|``, and
+* ``F_α = (1 + α²) · P · R / (α² · P + R)``         (Equation 35)
+
+reporting both ``F_1`` and ``F_0.5`` (the latter because LSH-E favours
+recall).  Edge cases follow the usual conventions: a query with an empty
+ground truth and an empty answer is perfect; an empty answer against a
+non-empty truth has recall 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable
+
+from repro._errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """True/false positive/negative counts of one query's result set."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @classmethod
+    def from_sets(
+        cls, truth: AbstractSet[int] | Iterable[int], answer: AbstractSet[int] | Iterable[int]
+    ) -> "ConfusionCounts":
+        """Build counts from a ground-truth set and an answer set."""
+        truth_set = set(truth)
+        answer_set = set(answer)
+        true_positives = len(truth_set & answer_set)
+        return cls(
+            true_positives=true_positives,
+            false_positives=len(answer_set) - true_positives,
+            false_negatives=len(truth_set) - true_positives,
+        )
+
+    @property
+    def precision(self) -> float:
+        """``|T ∩ A| / |A|`` (1.0 when nothing was returned and nothing was expected)."""
+        returned = self.true_positives + self.false_positives
+        if returned == 0:
+            return 1.0 if self.false_negatives == 0 else 0.0
+        return self.true_positives / returned
+
+    @property
+    def recall(self) -> float:
+        """``|T ∩ A| / |T|`` (1.0 when the ground truth is empty)."""
+        expected = self.true_positives + self.false_negatives
+        if expected == 0:
+            return 1.0
+        return self.true_positives / expected
+
+    def f_score(self, alpha: float = 1.0) -> float:
+        """The ``F_α`` score of Equation 35."""
+        return f_score(self.precision, self.recall, alpha)
+
+
+def precision_recall(
+    truth: AbstractSet[int] | Iterable[int], answer: AbstractSet[int] | Iterable[int]
+) -> tuple[float, float]:
+    """Precision and recall of an answer set against the ground truth."""
+    counts = ConfusionCounts.from_sets(truth, answer)
+    return counts.precision, counts.recall
+
+
+def f_score(precision: float, recall: float, alpha: float = 1.0) -> float:
+    """Equation 35: ``F_α = (1 + α²) P R / (α² P + R)``.
+
+    ``alpha = 1`` is the usual F1; ``alpha = 0.5`` weighs precision more
+    heavily, the variant the paper adds because LSH-E favours recall.
+    """
+    if alpha <= 0:
+        raise ConfigurationError("alpha must be positive")
+    if not 0.0 <= precision <= 1.0 or not 0.0 <= recall <= 1.0:
+        raise ConfigurationError("precision and recall must be in [0, 1]")
+    denominator = alpha * alpha * precision + recall
+    if denominator == 0:
+        return 0.0
+    return (1.0 + alpha * alpha) * precision * recall / denominator

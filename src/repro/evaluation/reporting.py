@@ -1,0 +1,65 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The benchmarks print the same rows the paper's tables and figure series
+contain; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro._errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Column widths adapt to the content.
+    """
+    if not headers:
+        raise ConfigurationError("headers must not be empty")
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells but there are {len(headers)} headers"
+            )
+        rendered = [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        rendered_rows.append(rendered)
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in rendered_rows)) if rendered_rows else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    header_line = "  ".join(str(header).ljust(width) for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_to_rows(series: Mapping[object, Mapping[str, float]], x_label: str = "x") -> tuple[list[str], list[list[object]]]:
+    """Flatten a ``{x: {metric: value}}`` series into table headers and rows.
+
+    Useful for figure-style benchmarks that sweep a parameter (space
+    budget, threshold, buffer size) and record several metrics per point.
+    """
+    metric_names: list[str] = []
+    for metrics in series.values():
+        for name in metrics:
+            if name not in metric_names:
+                metric_names.append(name)
+    headers = [x_label, *metric_names]
+    rows = []
+    for x_value, metrics in series.items():
+        rows.append([x_value, *[metrics.get(name, float("nan")) for name in metric_names]])
+    return headers, rows

@@ -1,0 +1,42 @@
+"""Exact set similarity functions (Definitions 1 and 2 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro._errors import ConfigurationError
+
+
+def overlap_size(left: Iterable[object], right: Iterable[object]) -> int:
+    """Exact intersection size ``|X ∩ Y|`` of two records."""
+    left_set = left if isinstance(left, (set, frozenset)) else set(left)
+    right_set = right if isinstance(right, (set, frozenset)) else set(right)
+    if len(left_set) > len(right_set):
+        left_set, right_set = right_set, left_set
+    return sum(1 for element in left_set if element in right_set)
+
+
+def jaccard_similarity(left: Iterable[object], right: Iterable[object]) -> float:
+    """Exact Jaccard similarity ``|X ∩ Y| / |X ∪ Y|`` (Definition 1)."""
+    left_set = left if isinstance(left, (set, frozenset)) else set(left)
+    right_set = right if isinstance(right, (set, frozenset)) else set(right)
+    if not left_set and not right_set:
+        return 0.0
+    intersection = overlap_size(left_set, right_set)
+    union = len(left_set) + len(right_set) - intersection
+    return intersection / union
+
+
+def containment_similarity(query: Iterable[object], record: Iterable[object]) -> float:
+    """Exact containment similarity ``C(Q, X) = |Q ∩ X| / |Q|`` (Definition 2).
+
+    Raises
+    ------
+    ConfigurationError
+        If the query is empty (the similarity is undefined).
+    """
+    query_set = query if isinstance(query, (set, frozenset)) else set(query)
+    record_set = record if isinstance(record, (set, frozenset)) else set(record)
+    if not query_set:
+        raise ConfigurationError("containment similarity is undefined for an empty query")
+    return overlap_size(query_set, record_set) / len(query_set)

@@ -1,0 +1,123 @@
+"""Families of independent unit-interval hash functions.
+
+MinHash signatures need ``k`` independent hash functions (one minimum per
+function).  KMV-style sketches need only one.  :class:`HashFamily` wraps a
+seeded collection of :class:`~repro.hashing.hash_functions.UnitHash`
+objects and provides a vectorised "hash every element under every
+function" operation used by the MinHash substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro._errors import ConfigurationError
+from repro.hashing.hash_functions import MAX_UINT64, UnitHash, element_fingerprint, mix64
+
+
+class HashFamily:
+    """A deterministic family of ``size`` independent hash functions.
+
+    Parameters
+    ----------
+    size:
+        Number of hash functions in the family (``>= 1``).
+    seed:
+        Master seed.  Function ``i`` uses seed ``mix64(master_seed + i)``,
+        so two families with the same ``(size, seed)`` are identical and
+        families with different master seeds are effectively independent.
+    """
+
+    def __init__(self, size: int, seed: int = 0) -> None:
+        if size < 1:
+            raise ConfigurationError(f"hash family size must be >= 1, got {size}")
+        self._size = int(size)
+        self._seed = int(seed) & MAX_UINT64
+        self._hashers: tuple[UnitHash, ...] = tuple(
+            UnitHash(seed=mix64(self._seed + i + 1)) for i in range(self._size)
+        )
+        # Pre-computed per-function seed mixes for the vectorised path.
+        self._seed_mixes = np.array(
+            [mix64(h.seed) for h in self._hashers], dtype=np.uint64
+        )
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of functions in the family."""
+        return self._size
+
+    @property
+    def seed(self) -> int:
+        """Master seed the family was derived from."""
+        return self._seed
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[UnitHash]:
+        return iter(self._hashers)
+
+    def __getitem__(self, index: int) -> UnitHash:
+        return self._hashers[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HashFamily):
+            return NotImplemented
+        return self._size == other._size and self._seed == other._seed
+
+    def __hash__(self) -> int:
+        return hash((self._size, self._seed))
+
+    def __repr__(self) -> str:
+        return f"HashFamily(size={self._size}, seed={self._seed})"
+
+    # -- hashing -----------------------------------------------------------
+    def hash_matrix(self, elements: Iterable[object]) -> np.ndarray:
+        """Hash every element under every function.
+
+        Returns
+        -------
+        numpy.ndarray
+            A ``(len(elements), size)`` float64 matrix with entry ``[i, j]``
+            equal to ``h_j(elements[i])``.  Empty input yields a
+            ``(0, size)`` matrix.
+        """
+        fingerprints = [element_fingerprint(e) for e in elements]
+        if not fingerprints:
+            return np.empty((0, self._size), dtype=np.float64)
+        fp = np.asarray(fingerprints, dtype=np.uint64)
+        return self._hash_fingerprints(fp)
+
+    def _hash_fingerprints(self, fingerprints: np.ndarray) -> np.ndarray:
+        """Vectorised SplitMix64 over a fingerprint column vs seed row."""
+        golden = np.uint64(0x9E37_79B9_7F4A_7C15)
+        mix1 = np.uint64(0xBF58_476D_1CE4_E5B9)
+        mix2 = np.uint64(0x94D0_49BB_1331_11EB)
+        with np.errstate(over="ignore"):
+            z = fingerprints[:, None] ^ self._seed_mixes[None, :]
+            z = z + golden
+            z = (z ^ (z >> np.uint64(30))) * mix1
+            z = (z ^ (z >> np.uint64(27))) * mix2
+            z = z ^ (z >> np.uint64(31))
+        return (z >> np.uint64(11)).astype(np.float64) * float(2.0**-53)
+
+    def min_hashes(self, elements: Sequence[object]) -> np.ndarray:
+        """Return the per-function minimum hash values of a record.
+
+        This is the MinHash signature of ``elements`` under the family:
+        an array of length ``size`` whose ``j``-th entry is
+        ``min_{e in elements} h_j(e)``.
+
+        Raises
+        ------
+        ConfigurationError
+            If the record is empty (a MinHash signature of the empty set
+            is undefined).
+        """
+        matrix = self.hash_matrix(elements)
+        if matrix.shape[0] == 0:
+            raise ConfigurationError("cannot MinHash an empty record")
+        return matrix.min(axis=0)

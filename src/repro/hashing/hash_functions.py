@@ -1,0 +1,164 @@
+"""Deterministic 64-bit hashing of set elements onto the unit interval.
+
+The paper's sketches (KMV, G-KMV, GB-KMV) all assume a collision-free hash
+function ``h : E -> [0, 1]`` whose outputs look like i.i.d. uniform draws.
+We implement this with a SplitMix64-style finalizer over a 64-bit
+fingerprint of the element, seeded so that independent functions can be
+derived for MinHash families.
+
+The implementation is deliberately dependency-light: elements may be
+``int``, ``str`` or ``bytes``.  Integers are the common case for the
+synthetic datasets used in the benchmarks, and get a fast path.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro._errors import ConfigurationError
+
+#: Largest value representable in an unsigned 64-bit integer.
+MAX_UINT64 = 0xFFFF_FFFF_FFFF_FFFF
+
+_GOLDEN_GAMMA = 0x9E37_79B9_7F4A_7C15
+_MIX_1 = 0xBF58_476D_1CE4_E5B9
+_MIX_2 = 0x94D0_49BB_1331_11EB
+
+# A 64-bit value is converted to the unit interval by keeping its top 53
+# bits (the double mantissa width) and scaling by 2**-53; every result is
+# exactly representable and strictly below 1.0.
+_INV_2_53 = float(2.0**-53)
+
+
+def mix64(value: int) -> int:
+    """Finalize a 64-bit integer with the SplitMix64 mixing function.
+
+    The mixer is a bijection on 64-bit integers with excellent avalanche
+    behaviour, which is what the uniformity of KMV estimators relies on.
+
+    Parameters
+    ----------
+    value:
+        Any Python integer; only its low 64 bits are used.
+
+    Returns
+    -------
+    int
+        A pseudo-random looking value in ``[0, 2**64)``.
+    """
+    z = (value + _GOLDEN_GAMMA) & MAX_UINT64
+    z = ((z ^ (z >> 30)) * _MIX_1) & MAX_UINT64
+    z = ((z ^ (z >> 27)) * _MIX_2) & MAX_UINT64
+    return (z ^ (z >> 31)) & MAX_UINT64
+
+
+def element_fingerprint(element: object) -> int:
+    """Map an element to a stable 64-bit fingerprint.
+
+    Integers map to themselves (mod 2**64); strings and bytes are folded
+    with an FNV-1a pass.  The fingerprint is independent of the process
+    (unlike built-in ``hash`` for strings) so sketches are reproducible.
+
+    Raises
+    ------
+    ConfigurationError
+        If the element type is not supported.
+    """
+    if isinstance(element, bool):
+        # bool is a subclass of int but treating True/False as 1/0 is fine.
+        return int(element)
+    if isinstance(element, (int, np.integer)):
+        return int(element) & MAX_UINT64
+    if isinstance(element, str):
+        data = element.encode("utf-8")
+    elif isinstance(element, bytes):
+        data = element
+    else:
+        raise ConfigurationError(
+            f"unsupported element type {type(element).__name__!r}; "
+            "elements must be int, str or bytes"
+        )
+    # FNV-1a over the byte string, 64-bit.
+    acc = 0xCBF2_9CE4_8422_2325
+    for byte in data:
+        acc ^= byte
+        acc = (acc * 0x1000_0000_01B3) & MAX_UINT64
+    return acc
+
+
+def hash_to_unit(value: int) -> float:
+    """Convert a 64-bit hash value to a float in ``[0, 1)``."""
+    return ((value & MAX_UINT64) >> 11) * _INV_2_53
+
+
+@dataclass(frozen=True)
+class UnitHash:
+    """A single deterministic hash function ``element -> [0, 1)``.
+
+    Two :class:`UnitHash` objects with the same ``seed`` compute the same
+    function, which is what makes sketches comparable: all sketches that
+    should be merged or intersected must be built with equal hashers.
+
+    Parameters
+    ----------
+    seed:
+        Seed deriving this member of the implicit hash family.
+    """
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, (int, np.integer)):
+            raise ConfigurationError("seed must be an integer")
+        object.__setattr__(self, "seed", int(self.seed) & MAX_UINT64)
+
+    # -- scalar paths ------------------------------------------------------
+    def hash_int(self, fingerprint: int) -> float:
+        """Hash a pre-computed 64-bit fingerprint to ``[0, 1)``."""
+        return hash_to_unit(mix64(fingerprint ^ mix64(self.seed)))
+
+    def __call__(self, element: object) -> float:
+        """Hash an arbitrary supported element to ``[0, 1)``."""
+        return self.hash_int(element_fingerprint(element))
+
+    # -- vectorised paths --------------------------------------------------
+    def hash_many(self, elements: Iterable[object]) -> np.ndarray:
+        """Hash an iterable of elements, returning a float64 array.
+
+        Integer-only iterables take a vectorised numpy path; mixed or
+        string elements fall back to the scalar path element by element.
+        """
+        elements = list(elements)
+        if not elements:
+            return np.empty(0, dtype=np.float64)
+        if all(isinstance(e, (int, np.integer)) and not isinstance(e, bool) for e in elements):
+            arr = np.asarray(elements, dtype=np.uint64)
+            return self._hash_uint64_array(arr)
+        return np.array([self(e) for e in elements], dtype=np.float64)
+
+    def _hash_uint64_array(self, arr: np.ndarray) -> np.ndarray:
+        """Vectorised SplitMix64 over a uint64 array."""
+        seed_mix = np.uint64(mix64(self.seed))
+        with np.errstate(over="ignore"):
+            z = arr ^ seed_mix
+            z = z + np.uint64(_GOLDEN_GAMMA)
+            z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX_1)
+            z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX_2)
+            z = z ^ (z >> np.uint64(31))
+        return (z >> np.uint64(11)).astype(np.float64) * _INV_2_53
+
+    def pack(self) -> bytes:
+        """Serialize the hasher (its seed) to 8 bytes."""
+        return struct.pack("<Q", self.seed)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UnitHash":
+        """Inverse of :meth:`pack`."""
+        if len(data) != 8:
+            raise ConfigurationError("packed UnitHash must be exactly 8 bytes")
+        (seed,) = struct.unpack("<Q", data)
+        return cls(seed=seed)

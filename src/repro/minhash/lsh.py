@@ -1,0 +1,203 @@
+"""Banded MinHash LSH and optimal parameter selection.
+
+A banded LSH index with parameters ``(b, r)`` (``b`` bands of ``r`` rows)
+reports a record as a candidate for a query when at least one band of the
+two signatures matches exactly.  For true Jaccard similarity ``s`` the
+candidate probability is the classic S-curve ``1 − (1 − s^r)^b``.
+
+``optimal_lsh_params`` chooses ``(b, r)`` for a Jaccard threshold by
+minimising the weighted sum of expected false positives and false
+negatives obtained by integrating the S-curve below and above the
+threshold — the same criterion LSH Ensemble uses per partition and per
+query.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro._errors import ConfigurationError
+from repro.minhash.signature import MinHashSignature
+
+
+def candidate_probability(similarity: float, num_bands: int, rows_per_band: int) -> float:
+    """Probability that banded LSH reports a pair with Jaccard ``similarity``."""
+    if not 0.0 <= similarity <= 1.0:
+        raise ConfigurationError("similarity must be in [0, 1]")
+    return 1.0 - (1.0 - similarity**rows_per_band) ** num_bands
+
+
+def false_positive_area(threshold: float, num_bands: int, rows_per_band: int, resolution: int = 200) -> float:
+    """Integral of the S-curve below the threshold (expected false-positive mass)."""
+    xs = np.linspace(0.0, threshold, resolution)
+    ys = 1.0 - (1.0 - xs**rows_per_band) ** num_bands
+    return float(np.trapezoid(ys, xs))
+
+
+def false_negative_area(threshold: float, num_bands: int, rows_per_band: int, resolution: int = 200) -> float:
+    """Integral of ``1 − S-curve`` above the threshold (expected false-negative mass)."""
+    xs = np.linspace(threshold, 1.0, resolution)
+    ys = 1.0 - (1.0 - (1.0 - xs**rows_per_band) ** num_bands)
+    return float(np.trapezoid(ys, xs))
+
+
+def optimal_lsh_params(
+    threshold: float,
+    num_perm: int,
+    false_positive_weight: float = 0.5,
+    false_negative_weight: float = 0.5,
+    resolution: int = 200,
+    rows_candidates: Iterable[int] | None = None,
+) -> tuple[int, int]:
+    """Choose ``(num_bands, rows_per_band)`` for a Jaccard threshold.
+
+    Scans every ``(b, r)`` pair with ``b * r <= num_perm`` (optionally
+    restricting ``r`` to ``rows_candidates``) and returns the pair
+    minimising
+    ``false_positive_weight · FP_area + false_negative_weight · FN_area``.
+
+    Parameters
+    ----------
+    threshold:
+        The Jaccard similarity threshold the index should discriminate at.
+    num_perm:
+        Total number of hash functions available in the signatures.
+    false_positive_weight, false_negative_weight:
+        Relative costs of the two error types; LSH Ensemble leans towards
+        recall by down-weighting false positives.
+    resolution:
+        Number of integration points per area.
+    rows_candidates:
+        Restrict the rows-per-band values considered, e.g. to the values
+        an ensemble has materialised tables for.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ConfigurationError("threshold must be in [0, 1]")
+    if num_perm < 1:
+        raise ConfigurationError("num_perm must be >= 1")
+    if rows_candidates is None:
+        rows_values = range(1, num_perm + 1)
+    else:
+        rows_values = sorted({int(rows) for rows in rows_candidates if 1 <= int(rows) <= num_perm})
+        if not rows_values:
+            raise ConfigurationError("rows_candidates contains no feasible value")
+
+    best: tuple[int, int] | None = None
+    best_error = float("inf")
+    xs_low = np.linspace(0.0, threshold, resolution)
+    xs_high = np.linspace(threshold, 1.0, resolution)
+    for rows in rows_values:
+        max_bands = num_perm // rows
+        if max_bands < 1:
+            continue
+        bands_array = np.arange(1, max_bands + 1, dtype=np.float64)
+        base_low = 1.0 - xs_low**rows  # shape (resolution,)
+        base_high = 1.0 - xs_high**rows
+        # S-curve for every band count at once: shape (resolution, max_bands).
+        curve_low = 1.0 - base_low[:, None] ** bands_array[None, :]
+        curve_high = base_high[:, None] ** bands_array[None, :]
+        fp = np.trapezoid(curve_low, xs_low, axis=0)
+        fn = np.trapezoid(curve_high, xs_high, axis=0)
+        errors = false_positive_weight * fp + false_negative_weight * fn
+        index = int(np.argmin(errors))
+        if errors[index] < best_error:
+            best_error = float(errors[index])
+            best = (index + 1, rows)
+    assert best is not None  # at least one feasible (b, r) always exists
+    return best
+
+
+class MinHashLSH:
+    """A banded MinHash LSH index over keyed records.
+
+    Parameters
+    ----------
+    num_bands, rows_per_band:
+        The banding parameters ``(b, r)``.  ``num_bands * rows_per_band``
+        must not exceed the signature length of inserted records.
+    """
+
+    def __init__(self, num_bands: int, rows_per_band: int) -> None:
+        if num_bands < 1 or rows_per_band < 1:
+            raise ConfigurationError("num_bands and rows_per_band must be >= 1")
+        self._num_bands = int(num_bands)
+        self._rows_per_band = int(rows_per_band)
+        self._tables: list[dict[bytes, list[Hashable]]] = [
+            defaultdict(list) for _ in range(self._num_bands)
+        ]
+        self._keys: set[Hashable] = set()
+
+    @property
+    def num_bands(self) -> int:
+        """Number of bands ``b``."""
+        return self._num_bands
+
+    @property
+    def rows_per_band(self) -> int:
+        """Rows per band ``r``."""
+        return self._rows_per_band
+
+    @property
+    def num_perm_required(self) -> int:
+        """Minimum signature length required by this index."""
+        return self._num_bands * self._rows_per_band
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._keys
+
+    def insert(self, key: Hashable, signature: MinHashSignature) -> None:
+        """Insert a keyed signature into every band table."""
+        if key in self._keys:
+            raise ConfigurationError(f"key {key!r} already inserted")
+        band_keys = signature.band_hashes(self._num_bands, self._rows_per_band)
+        for table, band_key in zip(self._tables, band_keys):
+            table[band_key].append(key)
+        self._keys.add(key)
+
+    def query(
+        self, signature: MinHashSignature, max_bands: int | None = None
+    ) -> set[Hashable]:
+        """Return keys sharing at least one band with the query signature.
+
+        Parameters
+        ----------
+        signature:
+            The query's MinHash signature.
+        max_bands:
+            Probe only the first ``max_bands`` bands.  LSH Ensemble uses
+            this to query with a query-specific ``b`` that is smaller than
+            the number of bands the table was built with.
+        """
+        bands_to_probe = self._num_bands if max_bands is None else int(max_bands)
+        if not 1 <= bands_to_probe <= self._num_bands:
+            raise ConfigurationError(
+                f"max_bands must be in [1, {self._num_bands}], got {max_bands}"
+            )
+        band_keys = signature.band_hashes(self._num_bands, self._rows_per_band)
+        candidates: set[Hashable] = set()
+        for table, band_key in zip(self._tables[:bands_to_probe], band_keys):
+            bucket = table.get(band_key)
+            if bucket:
+                candidates.update(bucket)
+        return candidates
+
+    def remove(self, key: Hashable, signature: MinHashSignature) -> None:
+        """Remove a previously inserted keyed signature."""
+        if key not in self._keys:
+            raise ConfigurationError(f"key {key!r} was never inserted")
+        band_keys = signature.band_hashes(self._num_bands, self._rows_per_band)
+        for table, band_key in zip(self._tables, band_keys):
+            bucket = table.get(band_key)
+            if bucket and key in bucket:
+                bucket.remove(key)
+        self._keys.discard(key)
+
+    def keys(self) -> Iterable[Hashable]:
+        """All keys currently indexed."""
+        return set(self._keys)

@@ -1,0 +1,148 @@
+"""Minwise hashing signatures (Broder 1997).
+
+A MinHash signature of a record ``X`` under ``k`` independent hash
+functions is the vector of per-function minimum hash values.  The
+fraction of positions where two signatures agree is an unbiased estimator
+of the Jaccard similarity (Equations 4–7 of the paper), and containment
+similarity follows through the transformation of Equation 14:
+
+    t̂ = (x/q + 1) · ŝ / (1 + ŝ)
+
+where ``x`` is the record size and ``q`` the query size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro._errors import ConfigurationError, SketchCompatibilityError
+from repro.hashing import HashFamily
+
+
+class MinHashSignature:
+    """MinHash signature of one record.
+
+    Parameters
+    ----------
+    values:
+        The per-function minimum hash values (length = family size).
+    record_size:
+        Number of distinct elements in the record.
+    family:
+        The hash family used; signatures from different families cannot be
+        compared.
+    """
+
+    __slots__ = ("_values", "_record_size", "_family")
+
+    def __init__(self, values: np.ndarray, record_size: int, family: HashFamily) -> None:
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ConfigurationError("signature values must be a one-dimensional array")
+        if arr.size != family.size:
+            raise ConfigurationError(
+                f"signature has {arr.size} values but the family has {family.size} functions"
+            )
+        if record_size <= 0:
+            raise ConfigurationError("record_size must be positive")
+        self._values = arr
+        self._record_size = int(record_size)
+        self._family = family
+
+    @classmethod
+    def from_record(
+        cls, record: Iterable[object], family: HashFamily
+    ) -> "MinHashSignature":
+        """Compute the signature of a record under a hash family."""
+        distinct = list(set(record))
+        if not distinct:
+            raise ConfigurationError("cannot MinHash an empty record")
+        values = family.min_hashes(distinct)
+        return cls(values=values, record_size=len(distinct), family=family)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """The signature values (read-only view)."""
+        view = self._values.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def size(self) -> int:
+        """Number of hash functions (signature length ``k``)."""
+        return int(self._values.size)
+
+    @property
+    def record_size(self) -> int:
+        """Number of distinct elements in the sketched record."""
+        return self._record_size
+
+    @property
+    def family(self) -> HashFamily:
+        """The hash family the signature was computed with."""
+        return self._family
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"MinHashSignature(size={self.size}, record_size={self._record_size})"
+
+    def memory_in_values(self) -> int:
+        """Space accounting: number of stored signature values."""
+        return self.size
+
+    # -- estimation --------------------------------------------------------
+    def _check_compatible(self, other: "MinHashSignature") -> None:
+        if self._family != other._family:
+            raise SketchCompatibilityError(
+                "cannot compare MinHash signatures from different hash families"
+            )
+
+    def jaccard_estimate(self, other: "MinHashSignature") -> float:
+        """Estimate the Jaccard similarity (Equation 5)."""
+        self._check_compatible(other)
+        return float(np.mean(self._values == other._values))
+
+    def containment_estimate(
+        self, other: "MinHashSignature", query_size: int | None = None
+    ) -> float:
+        """Estimate ``C(Q, X)`` with ``self`` as the query via Equation 14.
+
+        Parameters
+        ----------
+        other:
+            Signature of the candidate record ``X``.
+        query_size:
+            Exact query size ``|Q|``; defaults to this signature's record
+            size.
+        """
+        q = self._record_size if query_size is None else int(query_size)
+        if q <= 0:
+            raise ConfigurationError("query size must be positive")
+        s_hat = self.jaccard_estimate(other)
+        x = other.record_size
+        estimate = (x / q + 1.0) * s_hat / (1.0 + s_hat)
+        return float(min(estimate, 1.0))
+
+    def band_hashes(self, num_bands: int, rows_per_band: int) -> list[bytes]:
+        """Digest the signature into per-band byte keys for banded LSH.
+
+        Band ``i`` covers signature positions ``[i*r, (i+1)*r)``.  The
+        caller must ensure ``num_bands * rows_per_band <= size``.
+        """
+        if num_bands < 1 or rows_per_band < 1:
+            raise ConfigurationError("num_bands and rows_per_band must be >= 1")
+        if num_bands * rows_per_band > self.size:
+            raise ConfigurationError(
+                "num_bands * rows_per_band exceeds the signature length"
+            )
+        keys = []
+        for band in range(num_bands):
+            start = band * rows_per_band
+            chunk = self._values[start : start + rows_per_band]
+            keys.append(chunk.tobytes())
+        return keys

@@ -1,0 +1,50 @@
+"""Analytical results of the paper, implemented as checkable formulas.
+
+``taylor``
+    Lemma 1: second-order Taylor approximations of the expectation and
+    variance of a function of a random variable.
+``variance``
+    The estimator expectations and variances of Section III-B
+    (Equations 18–21 for MinHash and LSH-E) and the average sketch sizes
+    of Theorem 3 (Equations 28 and 31).
+``comparisons``
+    Executable versions of the paper's comparative claims: Theorem 1
+    (equal allocation is optimal for KMV), Theorem 3 (G-KMV beats KMV for
+    α1 below ≈3.4), Theorem 4 (splitting the element universe hurts), and
+    Theorem 5 / the buffer cost model (GB-KMV beats LSH-E).
+"""
+
+from repro.theory.taylor import taylor_expectation, taylor_variance
+from repro.theory.variance import (
+    average_k_gkmv,
+    average_k_kmv,
+    frequency_second_moment,
+    lshe_containment_expectation,
+    lshe_containment_variance,
+    minhash_containment_expectation,
+    minhash_containment_variance,
+    minhash_jaccard_variance,
+)
+from repro.theory.comparisons import (
+    gkmv_beats_kmv,
+    optimal_equal_allocation_total_k,
+    split_universe_variance_penalty,
+    theorem3_alpha_bound,
+)
+
+__all__ = [
+    "taylor_expectation",
+    "taylor_variance",
+    "minhash_jaccard_variance",
+    "minhash_containment_expectation",
+    "minhash_containment_variance",
+    "lshe_containment_expectation",
+    "lshe_containment_variance",
+    "average_k_kmv",
+    "average_k_gkmv",
+    "frequency_second_moment",
+    "gkmv_beats_kmv",
+    "theorem3_alpha_bound",
+    "optimal_equal_allocation_total_k",
+    "split_universe_variance_penalty",
+]

@@ -1,0 +1,46 @@
+"""Lemma 1: Taylor approximations of moments of a function of a random variable.
+
+For a random variable ``X`` with known mean and variance and a twice
+differentiable function ``f``:
+
+    E[f(X)]   ≈ f(E[X]) + f''(E[X]) / 2 · Var[X]
+    Var[f(X)] ≈ (f'(E[X]))² · Var[X] − (f''(E[X]))² / 4 · Var[X]²
+
+These are the expansions the paper uses to derive the expectation and
+variance of the MinHash- and LSH-E-based containment estimators
+(Equations 18–21).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro._errors import ConfigurationError
+
+
+def taylor_expectation(
+    f: Callable[[float], float],
+    second_derivative: Callable[[float], float],
+    mean: float,
+    variance: float,
+) -> float:
+    """Second-order Taylor approximation of ``E[f(X)]`` (Equation 16)."""
+    if variance < 0:
+        raise ConfigurationError("variance must be non-negative")
+    return f(mean) + 0.5 * second_derivative(mean) * variance
+
+
+def taylor_variance(
+    first_derivative: Callable[[float], float],
+    second_derivative: Callable[[float], float],
+    mean: float,
+    variance: float,
+) -> float:
+    """Second-order Taylor approximation of ``Var[f(X)]`` (Equation 17)."""
+    if variance < 0:
+        raise ConfigurationError("variance must be non-negative")
+    value = (
+        first_derivative(mean) ** 2 * variance
+        - (second_derivative(mean) ** 2) / 4.0 * variance**2
+    )
+    return max(value, 0.0)

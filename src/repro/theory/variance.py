@@ -1,0 +1,143 @@
+"""Estimator moments from Section III-B and Theorem 3 of the paper.
+
+MinHash / LSH-E containment estimators
+---------------------------------------
+With ``s = J(Q, X)``, ``t = C(Q, X)``, query size ``q``, record size ``x``,
+partition upper bound ``u`` and ``k`` hash functions:
+
+* Equation 18:  ``E[t̂]  ≈ t (1 − (1 − s) / (k (1 + s)²))``
+* Equation 19:  ``Var[t̂] ≈ D∩² (1 − s) [k (1 + s)² − s (1 − s)] / (q² k² s (1 + s)⁴)``
+* Equation 20:  ``E[t̂'] ≈ (u + q)/(x + q) · E[t̂]``
+* Equation 21:  ``Var[t̂'] ≈ ((u + q)/(x + q))² · Var[t̂]``
+
+Average sketch sizes (Theorem 3)
+--------------------------------
+* Equation 28:  ``k̄_KMV  = ⌊b / m⌋``
+* Equation 31:  ``k̄_GKMV = 2b/m − (b/m)² · fn₂ · (m²/b²·…)`` — implemented
+  directly as ``2b/m − b²/m² · fn₂`` with ``fn₂ = Σ f_i² / N²``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._errors import ConfigurationError
+
+
+def _validate_similarity(value: float, name: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+
+
+def minhash_jaccard_variance(jaccard: float, num_hashes: int) -> float:
+    """Equation 7: ``Var[ŝ] = s (1 − s) / k`` for the MinHash Jaccard estimator."""
+    _validate_similarity(jaccard, "jaccard")
+    if num_hashes < 1:
+        raise ConfigurationError("num_hashes must be >= 1")
+    return jaccard * (1.0 - jaccard) / num_hashes
+
+
+def minhash_containment_expectation(
+    containment: float, jaccard: float, num_hashes: int
+) -> float:
+    """Equation 18: approximate expectation of the MinHash containment estimator."""
+    _validate_similarity(containment, "containment")
+    _validate_similarity(jaccard, "jaccard")
+    if num_hashes < 1:
+        raise ConfigurationError("num_hashes must be >= 1")
+    bias_factor = 1.0 - (1.0 - jaccard) / (num_hashes * (1.0 + jaccard) ** 2)
+    return containment * bias_factor
+
+
+def minhash_containment_variance(
+    intersection_size: float, jaccard: float, query_size: int, num_hashes: int
+) -> float:
+    """Equation 19: approximate variance of the MinHash containment estimator."""
+    _validate_similarity(jaccard, "jaccard")
+    if query_size <= 0:
+        raise ConfigurationError("query_size must be positive")
+    if num_hashes < 1:
+        raise ConfigurationError("num_hashes must be >= 1")
+    if intersection_size < 0:
+        raise ConfigurationError("intersection_size must be non-negative")
+    if jaccard == 0.0:
+        return 0.0
+    s = jaccard
+    numerator = (
+        intersection_size**2
+        * (1.0 - s)
+        * (num_hashes * (1.0 + s) ** 2 - s * (1.0 - s))
+    )
+    denominator = query_size**2 * num_hashes**2 * s * (1.0 + s) ** 4
+    return numerator / denominator
+
+
+def lshe_containment_expectation(
+    containment: float,
+    jaccard: float,
+    num_hashes: int,
+    record_size: float,
+    upper_bound: float,
+    query_size: float,
+) -> float:
+    """Equation 20: expectation of the LSH-E estimator with size upper bound ``u``."""
+    if record_size <= 0 or upper_bound <= 0 or query_size <= 0:
+        raise ConfigurationError("sizes must be positive")
+    if upper_bound < record_size:
+        raise ConfigurationError("upper_bound must be at least the record size")
+    base = minhash_containment_expectation(containment, jaccard, num_hashes)
+    return (upper_bound + query_size) / (record_size + query_size) * base
+
+
+def lshe_containment_variance(
+    intersection_size: float,
+    jaccard: float,
+    query_size: int,
+    num_hashes: int,
+    record_size: float,
+    upper_bound: float,
+) -> float:
+    """Equation 21: variance of the LSH-E estimator with size upper bound ``u``."""
+    if record_size <= 0 or upper_bound <= 0:
+        raise ConfigurationError("sizes must be positive")
+    if upper_bound < record_size:
+        raise ConfigurationError("upper_bound must be at least the record size")
+    base = minhash_containment_variance(intersection_size, jaccard, query_size, num_hashes)
+    factor = (upper_bound + query_size) / (record_size + query_size)
+    return factor**2 * base
+
+
+def frequency_second_moment(frequencies) -> float:
+    """``fn₂ = Σ f_i² / N²`` — the normalised second moment of element frequencies."""
+    arr = np.asarray(frequencies, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("frequencies must not be empty")
+    if np.any(arr <= 0):
+        raise ConfigurationError("frequencies must be positive")
+    total = arr.sum()
+    return float(np.square(arr).sum() / total**2)
+
+
+def average_k_kmv(budget: float, num_records: int) -> float:
+    """Equation 28: the average sketch size of plain KMV is ``⌊b / m⌋``."""
+    if budget <= 0:
+        raise ConfigurationError("budget must be positive")
+    if num_records < 1:
+        raise ConfigurationError("num_records must be >= 1")
+    return float(int(budget // num_records))
+
+
+def average_k_gkmv(budget: float, num_records: int, fn2: float) -> float:
+    """Equation 31: the average pairwise sketch size of G-KMV.
+
+    ``k̄_GKMV = 2 b / m − (b / m)² fn₂ · m²/m²`` simplifies to
+    ``2b/m − b²/m² · fn₂`` with ``fn₂ = Σ f_i²/N²``.
+    """
+    if budget <= 0:
+        raise ConfigurationError("budget must be positive")
+    if num_records < 1:
+        raise ConfigurationError("num_records must be >= 1")
+    if fn2 < 0:
+        raise ConfigurationError("fn2 must be non-negative")
+    per_record = budget / num_records
+    return 2.0 * per_record - per_record**2 * fn2 * num_records**2 / num_records**2

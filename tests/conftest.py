@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Small, deterministic datasets keep unit tests fast; the integration and
+shape tests build slightly larger synthetic corpora from the generators.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_uniform_dataset, generate_zipf_dataset
+from repro.hashing import HashFamily, UnitHash
+
+
+@pytest.fixture
+def hasher() -> UnitHash:
+    """A fixed-seed unit hasher shared by sketch tests."""
+    return UnitHash(seed=42)
+
+
+@pytest.fixture
+def family() -> HashFamily:
+    """A small hash family for MinHash tests."""
+    return HashFamily(size=64, seed=7)
+
+
+@pytest.fixture
+def tiny_records() -> list[list[str]]:
+    """The four-record dataset of Example 1 in the paper."""
+    return [
+        ["e1", "e2", "e3", "e4", "e7"],
+        ["e2", "e3", "e5"],
+        ["e2", "e4", "e5"],
+        ["e1", "e2", "e6", "e10"],
+    ]
+
+
+@pytest.fixture
+def example_query() -> list[str]:
+    """The query of Example 1 in the paper."""
+    return ["e1", "e2", "e3", "e5", "e7", "e9"]
+
+
+@pytest.fixture(scope="session")
+def zipf_records() -> list[list[int]]:
+    """A moderately sized skewed dataset shared across integration tests."""
+    return generate_zipf_dataset(
+        num_records=400,
+        universe_size=5_000,
+        element_exponent=1.1,
+        size_exponent=3.0,
+        min_record_size=20,
+        max_record_size=300,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def uniform_records() -> list[list[int]]:
+    """A uniform-distribution dataset (Figure 19(a) regime)."""
+    return generate_uniform_dataset(
+        num_records=200,
+        universe_size=3_000,
+        min_record_size=20,
+        max_record_size=120,
+        seed=5,
+    )

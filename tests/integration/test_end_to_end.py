@@ -1,0 +1,84 @@
+"""End-to-end integration tests: dataset → indexes → workload → metrics.
+
+These exercise the same pipeline the benchmark harness uses, on a small
+skewed dataset, and check that the numbers coming out are sensible and
+internally consistent (rather than pinning exact values, which depend on
+sketch randomness).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import GKMVSearchIndex, KMVSearchIndex, LSHEnsembleIndex
+from repro.core import GBKMVIndex
+from repro.datasets import sample_queries
+from repro.evaluation import evaluate_search_method, exact_result_sets
+from repro.evaluation.harness import run_experiment
+
+
+@pytest.fixture(scope="module")
+def workload(zipf_records):
+    queries, _ids = sample_queries(zipf_records, num_queries=25, seed=3)
+    truth = exact_result_sets(zipf_records, queries, threshold=0.5)
+    return queries, truth
+
+
+class TestFullPipeline:
+    def test_gbkmv_pipeline_produces_reasonable_accuracy(self, zipf_records, workload):
+        queries, truth = workload
+        index = GBKMVIndex.build(zipf_records, space_fraction=0.1)
+        evaluation = evaluate_search_method("GB-KMV", index, queries, truth, threshold=0.5)
+        assert evaluation.accuracy.recall > 0.5
+        assert evaluation.accuracy.f1 > 0.3
+        assert evaluation.avg_query_seconds < 1.0
+        assert evaluation.space_fraction <= 0.12
+
+    def test_lshe_pipeline_recall_oriented(self, zipf_records, workload):
+        queries, truth = workload
+        index = LSHEnsembleIndex.build(zipf_records, num_perm=64, num_partitions=8)
+        evaluation = evaluate_search_method("LSH-E", index, queries, truth, threshold=0.5)
+        assert evaluation.accuracy.recall > 0.6
+        # LSH-E returns unverified candidates: precision trails recall.
+        assert evaluation.accuracy.precision <= evaluation.accuracy.recall + 0.05
+
+    def test_run_experiment_compares_methods(self, zipf_records, workload):
+        queries, _truth = workload
+        results = run_experiment(
+            zipf_records,
+            queries[:10],
+            threshold=0.5,
+            methods={
+                "GB-KMV": lambda: GBKMVIndex.build(zipf_records, space_fraction=0.1),
+                "KMV": lambda: KMVSearchIndex.build(zipf_records, space_fraction=0.1),
+            },
+        )
+        assert set(results) == {"GB-KMV", "KMV"}
+        for evaluation in results.values():
+            assert 0.0 <= evaluation.accuracy.f1 <= 1.0
+            assert evaluation.construction_seconds > 0.0
+
+    def test_gbkmv_beats_plain_kmv_at_equal_space(self, zipf_records, workload):
+        """The Figure 6 ordering: GB-KMV ≥ KMV in F1 at the same space budget."""
+        queries, truth = workload
+        gbkmv = GBKMVIndex.build(zipf_records, space_fraction=0.05)
+        kmv = KMVSearchIndex.build(zipf_records, space_fraction=0.05)
+        gbkmv_eval = evaluate_search_method("GB-KMV", gbkmv, queries, truth, 0.5)
+        kmv_eval = evaluate_search_method("KMV", kmv, queries, truth, 0.5)
+        assert gbkmv_eval.accuracy.f1 >= kmv_eval.accuracy.f1 - 0.02
+
+    def test_more_space_does_not_hurt_gbkmv(self, zipf_records, workload):
+        queries, truth = workload
+        small = GBKMVIndex.build(zipf_records, space_fraction=0.05)
+        large = GBKMVIndex.build(zipf_records, space_fraction=0.3)
+        small_eval = evaluate_search_method("small", small, queries, truth, 0.5)
+        large_eval = evaluate_search_method("large", large, queries, truth, 0.5)
+        assert large_eval.accuracy.f1 >= small_eval.accuracy.f1 - 0.05
+
+    def test_gkmv_at_least_as_good_as_kmv(self, zipf_records, workload):
+        queries, truth = workload
+        gkmv = GKMVSearchIndex.build(zipf_records, space_fraction=0.05)
+        kmv = KMVSearchIndex.build(zipf_records, space_fraction=0.05)
+        gkmv_eval = evaluate_search_method("G-KMV", gkmv, queries, truth, 0.5)
+        kmv_eval = evaluate_search_method("KMV", kmv, queries, truth, 0.5)
+        assert gkmv_eval.accuracy.f1 >= kmv_eval.accuracy.f1 - 0.02

@@ -1,0 +1,69 @@
+"""Property-based tests for GBKMVIndex search invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GBKMVIndex
+from repro.exact import BruteForceSearcher, containment_similarity
+
+record_strategy = st.sets(st.integers(min_value=0, max_value=400), min_size=1, max_size=60)
+dataset_strategy = st.lists(record_strategy, min_size=2, max_size=15)
+
+
+class TestIndexProperties:
+    @given(dataset=dataset_strategy, query=record_strategy, threshold=st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_full_budget_search_is_exact(self, dataset, query, threshold):
+        """With a 100% space budget every sketch is exact, so search is exact."""
+        index = GBKMVIndex.build(dataset, space_fraction=1.0, buffer_size=0)
+        oracle = BruteForceSearcher(dataset)
+        expected = {hit.record_id for hit in oracle.search(query, threshold)}
+        actual = {hit.record_id for hit in index.search(query, threshold)}
+        assert actual == expected
+
+    @given(dataset=dataset_strategy, query=record_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_scores_match_exact_containment_at_full_budget(self, dataset, query):
+        index = GBKMVIndex.build(dataset, space_fraction=1.0, buffer_size=4)
+        hits = index.search(query, threshold=0.0)
+        for hit in hits:
+            truth = containment_similarity(query, dataset[hit.record_id])
+            assert abs(hit.score - truth) < 1e-9
+
+    @given(dataset=dataset_strategy, query=record_strategy, threshold=st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_results_sorted_and_above_threshold(self, dataset, query, threshold):
+        index = GBKMVIndex.build(dataset, space_fraction=0.5, buffer_size=8)
+        hits = index.search(query, threshold)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+        if threshold > 0:
+            for hit in hits:
+                assert hit.score >= threshold - 1e-9
+
+    @given(dataset=dataset_strategy, low=st.floats(0.0, 1.0), high=st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_higher_threshold_returns_subset(self, dataset, low, high):
+        if low > high:
+            low, high = high, low
+        index = GBKMVIndex.build(dataset, space_fraction=0.5, buffer_size=0)
+        query = dataset[0]
+        low_hits = {hit.record_id for hit in index.search(query, low)}
+        high_hits = {hit.record_id for hit in index.search(query, high)}
+        assert high_hits <= low_hits
+
+    @given(dataset=dataset_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_space_never_exceeds_budget(self, dataset):
+        index = GBKMVIndex.build(dataset, space_fraction=0.25, buffer_size=0)
+        assert index.space_in_values() <= index.budget + 1e-9
+
+    @given(dataset=dataset_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_self_query_at_full_budget_finds_itself(self, dataset):
+        index = GBKMVIndex.build(dataset, space_fraction=1.0)
+        for record_id, record in enumerate(dataset):
+            hits = {hit.record_id for hit in index.search(record, threshold=1.0)}
+            assert record_id in hits

@@ -1,0 +1,113 @@
+"""Property-based tests for metrics, similarity functions and transformations."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.lsh_ensemble import containment_to_jaccard, jaccard_to_containment
+from repro.evaluation import ConfusionCounts, f_score
+from repro.exact import containment_similarity, jaccard_similarity, overlap_size
+
+sets_of_ints = st.sets(st.integers(min_value=0, max_value=200), max_size=60)
+nonempty_sets = st.sets(st.integers(min_value=0, max_value=200), min_size=1, max_size=60)
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestSimilarityProperties:
+    @given(left=sets_of_ints, right=sets_of_ints)
+    @settings(max_examples=100, deadline=None)
+    def test_overlap_bounded_by_smaller_set(self, left, right):
+        assert overlap_size(left, right) <= min(len(left), len(right))
+
+    @given(left=sets_of_ints, right=sets_of_ints)
+    @settings(max_examples=100, deadline=None)
+    def test_jaccard_symmetric_and_bounded(self, left, right):
+        value = jaccard_similarity(left, right)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard_similarity(right, left)
+
+    @given(query=nonempty_sets, record=sets_of_ints)
+    @settings(max_examples=100, deadline=None)
+    def test_containment_bounded(self, query, record):
+        value = containment_similarity(query, record)
+        assert 0.0 <= value <= 1.0
+
+    @given(query=nonempty_sets, record=nonempty_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_containment_vs_jaccard_relation(self, query, record):
+        """C(Q, X) ≥ J(Q, X) always, with equality iff X ⊆ Q."""
+        containment = containment_similarity(query, record)
+        jaccard = jaccard_similarity(query, record)
+        assert containment >= jaccard - 1e-12
+        if record <= query:
+            assert containment == jaccard_similarity(query, record) * len(query | record) / len(query)
+
+    @given(query=nonempty_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_self_containment_is_one(self, query):
+        assert containment_similarity(query, query) == 1.0
+
+
+class TestTransformationProperties:
+    @given(
+        containment=unit,
+        record_size=st.integers(min_value=1, max_value=1_000),
+        query_size=st.integers(min_value=1, max_value=1_000),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_transform_stays_in_unit_interval(self, containment, record_size, query_size):
+        jaccard = containment_to_jaccard(containment, record_size, query_size)
+        assert 0.0 <= jaccard <= 1.0
+        back = jaccard_to_containment(jaccard, record_size, query_size)
+        assert 0.0 <= back <= 1.0
+
+    @given(
+        record_size=st.integers(min_value=1, max_value=1_000),
+        query_size=st.integers(min_value=1, max_value=1_000),
+        low=unit,
+        high=unit,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_transform_is_monotone(self, record_size, query_size, low, high):
+        if low > high:
+            low, high = high, low
+        assert containment_to_jaccard(low, record_size, query_size) <= containment_to_jaccard(
+            high, record_size, query_size
+        )
+
+
+class TestMetricProperties:
+    @given(truth=sets_of_ints, answer=sets_of_ints)
+    @settings(max_examples=150, deadline=None)
+    def test_precision_recall_bounded(self, truth, answer):
+        counts = ConfusionCounts.from_sets(truth, answer)
+        assert 0.0 <= counts.precision <= 1.0
+        assert 0.0 <= counts.recall <= 1.0
+        assert 0.0 <= counts.f_score(1.0) <= 1.0
+        assert 0.0 <= counts.f_score(0.5) <= 1.0
+
+    @given(truth=nonempty_sets)
+    @settings(max_examples=50, deadline=None)
+    def test_perfect_answer_scores_one(self, truth):
+        counts = ConfusionCounts.from_sets(truth, truth)
+        assert counts.precision == 1.0
+        assert counts.recall == 1.0
+        assert counts.f_score() == 1.0
+
+    @given(truth=nonempty_sets, answer=sets_of_ints, extra=sets_of_ints)
+    @settings(max_examples=100, deadline=None)
+    def test_adding_false_positives_never_raises_precision(self, truth, answer, extra):
+        base = ConfusionCounts.from_sets(truth, answer & truth)
+        widened = ConfusionCounts.from_sets(truth, (answer & truth) | (extra - truth))
+        assert widened.precision <= base.precision + 1e-12
+
+    @given(
+        precision=unit,
+        recall=unit,
+        alpha=st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_f_score_between_min_and_max(self, precision, recall, alpha):
+        score = f_score(precision, recall, alpha)
+        assert min(precision, recall) - 1e-12 <= score <= max(precision, recall) + 1e-12

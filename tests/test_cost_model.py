@@ -1,0 +1,183 @@
+"""Unit tests for the buffer-size cost model (repro.core.cost_model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._errors import ConfigurationError, EmptyDatasetError
+from repro.core import average_variance, choose_buffer_size, residual_threshold
+from repro.core.cost_model import INFEASIBLE_VARIANCE
+from repro.hashing import UnitHash
+
+
+def _skewed_frequencies(n: int, alpha: float = 1.2) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    raw = 1000.0 * ranks**-alpha
+    return np.maximum(np.round(raw), 1.0)
+
+
+class TestAverageVariance:
+    def test_finite_for_feasible_configuration(self):
+        sizes = np.full(100, 50)
+        freqs = _skewed_frequencies(500)
+        variance = average_variance(sizes, freqs, budget=500.0, buffer_size=8)
+        assert np.isfinite(variance)
+        assert variance >= 0.0
+
+    def test_infeasible_when_buffer_exceeds_budget(self):
+        sizes = np.full(100, 50)
+        freqs = _skewed_frequencies(500)
+        # 100 records * 10_000 bits / 32 = 31_250 values > budget of 500.
+        assert average_variance(sizes, freqs, budget=500.0, buffer_size=10_000) == INFEASIBLE_VARIANCE
+
+    def test_zero_variance_when_buffer_covers_everything(self):
+        sizes = np.full(10, 5)
+        freqs = np.array([3, 2, 2, 1, 1], dtype=float)
+        variance = average_variance(sizes, freqs, budget=100.0, buffer_size=5)
+        assert variance == 0.0
+
+    def test_deterministic_given_seed(self):
+        sizes = np.full(50, 30)
+        freqs = _skewed_frequencies(300)
+        a = average_variance(sizes, freqs, budget=300.0, buffer_size=16, seed=3)
+        b = average_variance(sizes, freqs, budget=300.0, buffer_size=16, seed=3)
+        assert a == b
+
+    def test_larger_budget_reduces_variance(self):
+        sizes = np.full(50, 200)
+        freqs = _skewed_frequencies(3_000)
+        small = average_variance(sizes, freqs, budget=500.0, buffer_size=0)
+        large = average_variance(sizes, freqs, budget=5_000.0, buffer_size=0)
+        assert large < small
+
+    def test_input_validation(self):
+        freqs = _skewed_frequencies(10)
+        with pytest.raises(EmptyDatasetError):
+            average_variance([], freqs, budget=10.0, buffer_size=0)
+        with pytest.raises(EmptyDatasetError):
+            average_variance([5], [], budget=10.0, buffer_size=0)
+        with pytest.raises(ConfigurationError):
+            average_variance([0], freqs, budget=10.0, buffer_size=0)
+        with pytest.raises(ConfigurationError):
+            average_variance([5], freqs, budget=-1.0, buffer_size=0)
+        with pytest.raises(ConfigurationError):
+            average_variance([5], freqs, budget=10.0, buffer_size=-1)
+
+
+class TestChooseBufferSize:
+    def test_returns_feasible_choice_with_curve(self):
+        sizes = np.full(80, 100)
+        freqs = _skewed_frequencies(2_000)
+        sizing = choose_buffer_size(sizes, freqs, budget=800.0)
+        assert sizing.buffer_size >= 0
+        assert np.isfinite(sizing.estimated_variance)
+        assert len(sizing.curve) >= 2
+        observed = dict(sizing.curve)
+        assert sizing.estimated_variance == observed[sizing.buffer_size]
+
+    def test_zero_buffer_is_always_a_candidate(self):
+        sizes = np.full(80, 100)
+        freqs = _skewed_frequencies(2_000)
+        sizing = choose_buffer_size(sizes, freqs, budget=800.0)
+        assert any(r == 0 for r, _ in sizing.curve)
+
+    def test_never_worse_than_zero_buffer(self):
+        """The paper's feasibility constraint V_Δ < 0: GB-KMV ⪯ G-KMV never holds."""
+        sizes = np.full(80, 100)
+        freqs = _skewed_frequencies(2_000)
+        sizing = choose_buffer_size(sizes, freqs, budget=800.0)
+        zero_variance = dict(sizing.curve)[0]
+        assert sizing.estimated_variance <= zero_variance
+
+    def test_skewed_frequencies_prefer_nonzero_buffer(self):
+        """With very hot elements and enough budget, a buffer should pay off."""
+        sizes = np.full(60, 200)
+        freqs = np.concatenate([np.full(16, 60.0), np.full(5_000, 1.0)])
+        sizing = choose_buffer_size(sizes, freqs, budget=2_000.0, step=8)
+        assert sizing.buffer_size > 0
+
+    def test_step_validation(self):
+        with pytest.raises(ConfigurationError):
+            choose_buffer_size([10], [1.0], budget=5.0, step=0)
+
+    def test_max_buffer_size_respected(self):
+        sizes = np.full(40, 100)
+        freqs = _skewed_frequencies(1_000)
+        sizing = choose_buffer_size(sizes, freqs, budget=800.0, max_buffer_size=10)
+        assert sizing.buffer_size <= 10
+        assert all(r <= 10 for r, _ in sizing.curve)
+
+    def test_buffer_cost_fraction_guard_rail(self):
+        """The buffer may consume at most half the budget by default."""
+        sizes = np.full(40, 100)
+        freqs = _skewed_frequencies(5_000)
+        budget = 400.0
+        sizing = choose_buffer_size(sizes, freqs, budget)
+        assert sizing.buffer_size * 40 / 32 <= budget * 0.5 + 1e-9
+        # Raising the fraction widens the feasible grid.
+        relaxed = choose_buffer_size(sizes, freqs, budget, max_buffer_cost_fraction=1.0)
+        assert max(r for r, _ in relaxed.curve) >= max(r for r, _ in sizing.curve)
+
+    def test_buffer_cost_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            choose_buffer_size([10], [1.0], budget=5.0, max_buffer_cost_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            choose_buffer_size([10], [1.0], budget=5.0, max_buffer_cost_fraction=1.5)
+
+    def test_flat_frequencies_prefer_small_buffer(self):
+        """With near-uniform element frequencies the buffer buys little."""
+        sizes = np.full(60, 100)
+        freqs = np.full(5_000, 2.0)
+        sizing = choose_buffer_size(sizes, freqs, budget=2_000.0)
+        assert sizing.buffer_size <= 64
+
+
+class TestResidualThreshold:
+    def test_full_budget_returns_one(self):
+        hasher = UnitHash(0)
+        frequencies = {f"t{i}": 2 for i in range(10)}
+        assert residual_threshold(frequencies, residual_budget=1_000, hasher=hasher) == 1.0
+
+    def test_zero_budget_stores_nothing(self):
+        hasher = UnitHash(0)
+        frequencies = {f"t{i}": 2 for i in range(10)}
+        tau = residual_threshold(frequencies, residual_budget=0, hasher=hasher)
+        hashes = hasher.hash_many(list(frequencies))
+        assert tau > 0.0
+        assert np.all(hashes > tau)
+
+    def test_budget_controls_stored_mass(self):
+        hasher = UnitHash(3)
+        frequencies = {i: 1 for i in range(10_000)}
+        budget = 2_500
+        tau = residual_threshold(frequencies, residual_budget=budget, hasher=hasher)
+        hashes = hasher.hash_many(list(frequencies))
+        stored = int(np.sum(hashes <= tau))
+        assert stored <= budget
+        # The threshold should not leave large amounts of budget unused.
+        assert stored >= budget * 0.95
+
+    def test_weighted_by_frequency(self):
+        hasher = UnitHash(5)
+        # One extremely frequent element: storing it alone would use the
+        # whole budget many times over, so τ must exclude it if it hashes
+        # above the cheap elements.
+        frequencies = {"heavy": 1_000}
+        frequencies.update({f"light{i}": 1 for i in range(100)})
+        tau = residual_threshold(frequencies, residual_budget=50, hasher=hasher)
+        hashes = hasher.hash_many(list(frequencies))
+        counts = np.array([frequencies[e] for e in frequencies], dtype=float)
+        stored = float(np.sum(counts[hashes <= tau]))
+        assert stored <= 50
+
+    def test_empty_residual_returns_one(self):
+        assert residual_threshold({}, residual_budget=10, hasher=UnitHash(0)) == 1.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            residual_threshold({"a": 1}, residual_budget=-1, hasher=UnitHash(0))
+
+    def test_non_positive_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            residual_threshold({"a": 0}, residual_budget=5, hasher=UnitHash(0))

@@ -1,0 +1,99 @@
+"""Unit tests for the synthetic dataset generators (repro.datasets.generators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.datasets import generate_uniform_dataset, generate_zipf_dataset
+from repro.datasets.powerlaw import element_frequencies, record_sizes
+
+
+class TestZipfDataset:
+    def test_shape_and_bounds(self):
+        records = generate_zipf_dataset(
+            num_records=200,
+            universe_size=2_000,
+            element_exponent=1.1,
+            size_exponent=3.0,
+            min_record_size=10,
+            max_record_size=100,
+            seed=1,
+        )
+        assert len(records) == 200
+        sizes = record_sizes(records)
+        assert sizes.min() >= 10
+        assert sizes.max() <= 100
+        flat = {element for record in records for element in record}
+        assert min(flat) >= 0
+        assert max(flat) < 2_000
+
+    def test_records_have_distinct_elements(self):
+        records = generate_zipf_dataset(50, 1_000, seed=2, max_record_size=200)
+        for record in records:
+            assert len(record) == len(set(record))
+
+    def test_deterministic_given_seed(self):
+        a = generate_zipf_dataset(30, 1_000, seed=9, max_record_size=100)
+        b = generate_zipf_dataset(30, 1_000, seed=9, max_record_size=100)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_zipf_dataset(30, 1_000, seed=1, max_record_size=100)
+        b = generate_zipf_dataset(30, 1_000, seed=2, max_record_size=100)
+        assert a != b
+
+    def test_element_skew_increases_with_exponent(self):
+        flat_records = generate_zipf_dataset(
+            300, 5_000, element_exponent=0.2, size_exponent=2.0, max_record_size=100, seed=3
+        )
+        skew_records = generate_zipf_dataset(
+            300, 5_000, element_exponent=1.4, size_exponent=2.0, max_record_size=100, seed=3
+        )
+        flat_freqs = np.array(sorted(element_frequencies(flat_records).values(), reverse=True))
+        skew_freqs = np.array(sorted(element_frequencies(skew_records).values(), reverse=True))
+        # The skewed dataset concentrates far more mass in its hottest elements.
+        flat_top_share = flat_freqs[:20].sum() / flat_freqs.sum()
+        skew_top_share = skew_freqs[:20].sum() / skew_freqs.sum()
+        assert skew_top_share > flat_top_share * 2
+
+    def test_size_skew_increases_with_exponent(self):
+        gentle = generate_zipf_dataset(
+            500, 3_000, element_exponent=1.0, size_exponent=1.5, max_record_size=500, seed=4
+        )
+        steep = generate_zipf_dataset(
+            500, 3_000, element_exponent=1.0, size_exponent=6.0, max_record_size=500, seed=4
+        )
+        assert record_sizes(steep).mean() < record_sizes(gentle).mean()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_zipf_dataset(0, 1_000)
+        with pytest.raises(ConfigurationError):
+            generate_zipf_dataset(10, universe_size=100, max_record_size=500)
+
+
+class TestUniformDataset:
+    def test_size_range(self):
+        records = generate_uniform_dataset(
+            100, 2_000, min_record_size=10, max_record_size=50, seed=5
+        )
+        sizes = record_sizes(records)
+        assert sizes.min() >= 10
+        assert sizes.max() <= 50
+
+    def test_frequencies_are_roughly_flat(self):
+        records = generate_uniform_dataset(
+            400, 1_000, min_record_size=20, max_record_size=60, seed=6
+        )
+        freqs = np.array(list(element_frequencies(records).values()), dtype=float)
+        # Uniform element selection: coefficient of variation stays small.
+        assert freqs.std() / freqs.mean() < 0.6
+
+    def test_sizes_are_roughly_uniform(self):
+        records = generate_uniform_dataset(
+            2_000, 3_000, min_record_size=10, max_record_size=110, seed=7
+        )
+        sizes = record_sizes(records)
+        assert abs(sizes.mean() - 60) < 6

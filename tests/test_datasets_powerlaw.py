@@ -1,0 +1,109 @@
+"""Unit tests for the power-law utilities (repro.datasets.powerlaw)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._errors import ConfigurationError, EmptyDatasetError
+from repro.datasets import fit_power_law_exponent, zipf_probabilities, zipf_sizes
+from repro.datasets.powerlaw import element_frequencies, record_sizes
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one(self):
+        probabilities = zipf_probabilities(1_000, 1.2)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        probabilities = zipf_probabilities(100, 1.5)
+        assert np.all(np.diff(probabilities) <= 0)
+
+    def test_zero_exponent_is_uniform(self):
+        probabilities = zipf_probabilities(10, 0.0)
+        np.testing.assert_allclose(probabilities, np.full(10, 0.1))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            zipf_probabilities(10, -1.0)
+
+
+class TestZipfSizes:
+    def test_within_bounds(self):
+        rng = np.random.default_rng(0)
+        sizes = zipf_sizes(500, 5, 50, 2.0, rng)
+        assert sizes.min() >= 5
+        assert sizes.max() <= 50
+        assert sizes.shape == (500,)
+
+    def test_higher_exponent_concentrates_at_minimum(self):
+        rng = np.random.default_rng(1)
+        gentle = zipf_sizes(2_000, 10, 100, 1.0, np.random.default_rng(1))
+        steep = zipf_sizes(2_000, 10, 100, 5.0, rng)
+        assert steep.mean() < gentle.mean()
+
+    def test_zero_exponent_is_roughly_uniform(self):
+        sizes = zipf_sizes(5_000, 10, 110, 0.0, np.random.default_rng(2))
+        assert abs(sizes.mean() - 60) < 3
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            zipf_sizes(0, 5, 10, 1.0, rng)
+        with pytest.raises(ConfigurationError):
+            zipf_sizes(10, 0, 10, 1.0, rng)
+        with pytest.raises(ConfigurationError):
+            zipf_sizes(10, 20, 10, 1.0, rng)
+
+
+class TestStatistics:
+    def test_element_frequencies_count_records_not_occurrences(self):
+        records = [["a", "a", "b"], ["a"], ["c"]]
+        frequencies = element_frequencies(records)
+        assert frequencies["a"] == 2
+        assert frequencies["b"] == 1
+        assert frequencies["c"] == 1
+
+    def test_record_sizes_count_distinct(self):
+        assert list(record_sizes([["a", "a", "b"], ["c"]])) == [2, 1]
+
+
+class TestFitPowerLaw:
+    def test_recovers_exponent_of_synthetic_sample(self):
+        rng = np.random.default_rng(3)
+        # Discrete power-law sample with exponent alpha = 2.5 and x_min = 10
+        # (the regime the discrete MLE with the −1/2 shift is designed for).
+        alpha = 2.5
+        x_min = 10
+        sample = np.floor(x_min * (1.0 - rng.random(50_000)) ** (-1.0 / (alpha - 1.0)))
+        fitted = fit_power_law_exponent(sample, x_min=x_min)
+        assert abs(fitted - alpha) < 0.2
+
+    def test_larger_exponent_for_steeper_sample(self):
+        rng = np.random.default_rng(4)
+        steep = np.floor(10 * (1.0 - rng.random(20_000)) ** (-1.0 / 4.0))  # alpha = 5
+        gentle = np.floor(10 * (1.0 - rng.random(20_000)) ** (-1.0 / 1.0))  # alpha = 2
+        assert fit_power_law_exponent(steep, x_min=10) > fit_power_law_exponent(gentle, x_min=10)
+
+    def test_peaked_sample_has_large_exponent(self):
+        # Observations all equal to the minimum indicate an extremely peaked
+        # distribution; the fitted exponent must be large (here > 5).
+        assert fit_power_law_exponent([3, 3, 3, 3]) > 5.0
+
+    def test_x_min_filters_observations(self):
+        values = [1] * 100 + [50, 60, 70]
+        unrestricted = fit_power_law_exponent(values)
+        tail_only = fit_power_law_exponent(values, x_min=50)
+        assert unrestricted != tail_only
+
+    def test_validation(self):
+        with pytest.raises(EmptyDatasetError):
+            fit_power_law_exponent([])
+        with pytest.raises(EmptyDatasetError):
+            fit_power_law_exponent([0, -1])
+        with pytest.raises(ConfigurationError):
+            fit_power_law_exponent([1, 2], x_min=0)
+        with pytest.raises(EmptyDatasetError):
+            fit_power_law_exponent([1, 2], x_min=100)

@@ -1,0 +1,81 @@
+"""Unit tests for the proxy datasets (repro.datasets.proxies)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.datasets import DATASET_PROFILES, dataset_characteristics, load_proxy
+from repro.datasets.powerlaw import record_sizes
+
+
+class TestProfiles:
+    def test_all_seven_paper_datasets_present(self):
+        assert set(DATASET_PROFILES) == {
+            "NETFLIX",
+            "DELIC",
+            "COD",
+            "ENRON",
+            "REUTERS",
+            "WEBSPAM",
+            "WDC",
+        }
+
+    def test_exponents_match_table2(self):
+        assert DATASET_PROFILES["NETFLIX"].element_exponent == pytest.approx(1.14)
+        assert DATASET_PROFILES["NETFLIX"].size_exponent == pytest.approx(4.95)
+        assert DATASET_PROFILES["WDC"].element_exponent == pytest.approx(1.08)
+        assert DATASET_PROFILES["WDC"].size_exponent == pytest.approx(2.4)
+        assert DATASET_PROFILES["WEBSPAM"].size_exponent == pytest.approx(9.34)
+
+    def test_proxies_are_scaled_down(self):
+        for profile in DATASET_PROFILES.values():
+            assert profile.proxy_num_records < profile.paper_num_records
+            assert profile.min_record_size >= 10
+            assert profile.universe_size >= profile.max_record_size
+
+
+class TestLoadProxy:
+    def test_load_small_scale(self):
+        records = load_proxy("WDC", scale=0.05, seed=1)
+        assert len(records) == max(int(DATASET_PROFILES["WDC"].proxy_num_records * 0.05), 10)
+        sizes = record_sizes(records)
+        assert sizes.min() >= DATASET_PROFILES["WDC"].min_record_size
+
+    def test_case_insensitive_name(self):
+        assert load_proxy("wdc", scale=0.05, seed=1) == load_proxy("WDC", scale=0.05, seed=1)
+
+    def test_deterministic(self):
+        assert load_proxy("REUTERS", scale=0.02, seed=4) == load_proxy(
+            "REUTERS", scale=0.02, seed=4
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_proxy("UNKNOWN")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_proxy("WDC", scale=0.0)
+
+
+class TestCharacteristics:
+    def test_reports_all_table2_columns(self):
+        records = load_proxy("WDC", scale=0.1, seed=2)
+        stats = dataset_characteristics(records)
+        assert set(stats) == {
+            "num_records",
+            "avg_record_size",
+            "num_distinct_elements",
+            "alpha_element_frequency",
+            "alpha_record_size",
+        }
+        assert stats["num_records"] == len(records)
+        assert stats["avg_record_size"] > 0
+        assert stats["num_distinct_elements"] > 0
+
+    def test_proxy_is_skewed(self):
+        """Element-frequency skew of a proxy should be clearly super-uniform."""
+        records = load_proxy("NETFLIX", scale=0.1, seed=2)
+        stats = dataset_characteristics(records)
+        assert stats["alpha_element_frequency"] > 1.0

@@ -1,0 +1,98 @@
+"""Unit tests for query workloads and dataset file loaders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._errors import ConfigurationError, DatasetFormatError, EmptyDatasetError
+from repro.datasets import load_records, sample_queries, save_records
+from repro.datasets.workload import build_workload
+from repro.exact import BruteForceSearcher
+
+
+class TestSampleQueries:
+    def test_queries_come_from_dataset(self, tiny_records):
+        queries, ids = sample_queries(tiny_records, num_queries=10, seed=1)
+        assert len(queries) == 10
+        assert len(ids) == 10
+        for query, record_id in zip(queries, ids):
+            assert sorted(query) == sorted(tiny_records[record_id])
+
+    def test_deterministic(self, tiny_records):
+        assert sample_queries(tiny_records, 5, seed=2) == sample_queries(tiny_records, 5, seed=2)
+
+    def test_without_replacement_when_possible(self, zipf_records):
+        _queries, ids = sample_queries(zipf_records, num_queries=50, seed=3)
+        assert len(set(ids)) == 50
+
+    def test_validation(self, tiny_records):
+        with pytest.raises(EmptyDatasetError):
+            sample_queries([], 5)
+        with pytest.raises(ConfigurationError):
+            sample_queries(tiny_records, 0)
+
+
+class TestBuildWorkload:
+    def test_ground_truth_matches_brute_force(self, zipf_records):
+        records = zipf_records[:80]
+        workload = build_workload(records, threshold=0.5, num_queries=10, seed=4)
+        assert workload.num_queries == 10
+        assert workload.threshold == 0.5
+        oracle = BruteForceSearcher(records)
+        for query, truth in zip(workload.queries, workload.ground_truth):
+            expected = {hit.record_id for hit in oracle.search(list(query), 0.5)}
+            assert truth == expected
+
+    def test_self_record_is_always_in_truth(self, zipf_records):
+        records = zipf_records[:50]
+        workload = build_workload(records, threshold=0.9, num_queries=10, seed=5)
+        for record_id, truth in zip(workload.query_record_ids, workload.ground_truth):
+            assert record_id in truth
+
+    def test_invalid_threshold_rejected(self, tiny_records):
+        with pytest.raises(ConfigurationError):
+            build_workload(tiny_records, threshold=2.0)
+
+
+class TestLoaders:
+    def test_roundtrip_integers(self, tmp_path):
+        records = [[1, 2, 3], [4, 5], [6]]
+        path = tmp_path / "data.txt"
+        save_records(records, path)
+        assert load_records(path) == records
+
+    def test_roundtrip_strings(self, tmp_path):
+        records = [["apple", "pear"], ["kiwi"]]
+        path = tmp_path / "data.txt"
+        save_records(records, path)
+        assert load_records(path) == records
+
+    def test_min_record_size_filter(self, tmp_path):
+        records = [[1, 2, 3], [4], [5, 6]]
+        path = tmp_path / "data.txt"
+        save_records(records, path)
+        assert load_records(path, min_record_size=2) == [[1, 2, 3], [5, 6]]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1 2\n\n3 4\n")
+        assert load_records(path) == [[1, 2], [3, 4]]
+
+    def test_blank_lines_error_when_not_skipped(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1 2\n\n3 4\n")
+        with pytest.raises(DatasetFormatError):
+            load_records(path, skip_empty=False)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetFormatError):
+            load_records(tmp_path / "missing.txt")
+
+    def test_whitespace_elements_rejected_on_save(self, tmp_path):
+        with pytest.raises(DatasetFormatError):
+            save_records([["a b"]], tmp_path / "data.txt")
+
+    def test_mixed_tokens_parse_types(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("12 word -3\n")
+        assert load_records(path) == [[12, "word", -3]]

@@ -1,0 +1,83 @@
+"""Unit tests for the shared estimator helpers (repro.core.estimators)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._errors import ConfigurationError, EstimationError
+from repro.core import (
+    KMVSketch,
+    estimate_containment,
+    estimate_intersection,
+    intersection_variance,
+)
+from repro.core.estimators import containment_variance
+
+
+class TestEstimateHelpers:
+    def test_estimate_intersection_delegates_to_sketch(self, hasher):
+        a = KMVSketch.from_record([1, 2, 3, 4], k=10, hasher=hasher)
+        b = KMVSketch.from_record([3, 4, 5], k=10, hasher=hasher)
+        assert estimate_intersection(a, b) == 2.0
+
+    def test_estimate_containment_fields(self, hasher):
+        a = KMVSketch.from_record([1, 2, 3, 4], k=10, hasher=hasher)
+        b = KMVSketch.from_record([3, 4, 5], k=10, hasher=hasher)
+        estimate = estimate_containment(a, b, query_size=4)
+        assert estimate.intersection == 2.0
+        assert estimate.containment == pytest.approx(0.5)
+        assert estimate.query_size == 4
+
+    def test_estimate_containment_rejects_bad_query_size(self, hasher):
+        a = KMVSketch.from_record([1, 2], k=10, hasher=hasher)
+        with pytest.raises(ConfigurationError):
+            estimate_containment(a, a, query_size=0)
+
+
+class TestIntersectionVariance:
+    def test_zero_intersection_gives_zero_variance(self):
+        assert intersection_variance(0.0, 100.0, k=64) == 0.0
+
+    def test_matches_equation_11_by_hand(self):
+        # D∩ = 10, D∪ = 100, k = 20:
+        # Var = 10 (20·100 − 400 − 100 + 20 + 10) / (20 · 18)
+        expected = 10 * (2000 - 400 - 100 + 20 + 10) / (20 * 18)
+        assert intersection_variance(10, 100, 20) == pytest.approx(expected)
+
+    def test_variance_decreases_with_k(self):
+        small_k = intersection_variance(50, 500, 16)
+        large_k = intersection_variance(50, 500, 256)
+        assert large_k < small_k
+
+    def test_requires_k_at_least_three(self):
+        with pytest.raises(EstimationError):
+            intersection_variance(1, 10, 2)
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ConfigurationError):
+            intersection_variance(-1, 10, 5)
+        with pytest.raises(ConfigurationError):
+            intersection_variance(1, -10, 5)
+
+    def test_rejects_intersection_larger_than_union(self):
+        with pytest.raises(ConfigurationError):
+            intersection_variance(20, 10, 5)
+
+    def test_never_negative(self):
+        # Configurations that would go slightly negative are clamped to 0.
+        assert intersection_variance(1, 1, 3) >= 0.0
+
+
+class TestContainmentVariance:
+    def test_scales_by_query_size_squared(self):
+        base = intersection_variance(10, 100, 20)
+        assert containment_variance(10, 100, 20, query_size=10) == pytest.approx(base / 100)
+
+    def test_rejects_bad_query_size(self):
+        with pytest.raises(ConfigurationError):
+            containment_variance(10, 100, 20, query_size=0)
+
+    def test_monotone_in_intersection_for_fixed_union(self):
+        low = containment_variance(5, 1000, 64, query_size=50)
+        high = containment_variance(50, 1000, 64, query_size=50)
+        assert high > low

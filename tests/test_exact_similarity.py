@@ -1,0 +1,85 @@
+"""Unit tests for the exact similarity functions (repro.exact.similarity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.exact import containment_similarity, jaccard_similarity, overlap_size
+
+
+class TestOverlapSize:
+    def test_basic(self):
+        assert overlap_size([1, 2, 3], [2, 3, 4]) == 2
+
+    def test_disjoint(self):
+        assert overlap_size([1, 2], [3, 4]) == 0
+
+    def test_duplicates_ignored(self):
+        assert overlap_size([1, 1, 2], [1, 2, 2]) == 2
+
+    def test_accepts_sets_and_lists(self):
+        assert overlap_size({1, 2, 3}, [3, 4]) == 1
+
+    def test_empty_inputs(self):
+        assert overlap_size([], [1, 2]) == 0
+        assert overlap_size([], []) == 0
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity([1], [2]) == 0.0
+
+    def test_partial(self):
+        assert jaccard_similarity([1, 2, 3], [2, 3, 4]) == pytest.approx(2 / 4)
+
+    def test_both_empty(self):
+        assert jaccard_similarity([], []) == 0.0
+
+    def test_symmetric(self):
+        assert jaccard_similarity([1, 2, 3], [3, 4]) == jaccard_similarity([3, 4], [1, 2, 3])
+
+    def test_intro_example(self):
+        """The restaurant example from the introduction."""
+        x = "five guys burgers and fries downtown brooklyn new york".split()
+        y = "five kitchen berkeley".split()
+        q = ["five", "guys"]
+        assert jaccard_similarity(q, x) == pytest.approx(2 / 9)
+        assert jaccard_similarity(q, y) == pytest.approx(1 / 4)
+
+
+class TestContainment:
+    def test_full_containment(self):
+        assert containment_similarity([1, 2], [1, 2, 3, 4]) == 1.0
+
+    def test_no_containment(self):
+        assert containment_similarity([1, 2], [3, 4]) == 0.0
+
+    def test_partial(self):
+        assert containment_similarity([1, 2, 3, 4], [3, 4, 5]) == pytest.approx(0.5)
+
+    def test_asymmetric(self):
+        a = [1, 2, 3, 4]
+        b = [3, 4]
+        assert containment_similarity(a, b) != containment_similarity(b, a)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ConfigurationError):
+            containment_similarity([], [1, 2])
+
+    def test_intro_example(self):
+        """Containment fixes the ordering the introduction motivates."""
+        x = "five guys burgers and fries downtown brooklyn new york".split()
+        y = "five kitchen berkeley".split()
+        q = ["five", "guys"]
+        assert containment_similarity(q, x) == 1.0
+        assert containment_similarity(q, y) == 0.5
+        assert containment_similarity(q, x) > containment_similarity(q, y)
+
+    def test_paper_example_1_scores(self, tiny_records, example_query):
+        expected = [4 / 6, 3 / 6, 2 / 6, 2 / 6]
+        for record, score in zip(tiny_records, expected):
+            assert containment_similarity(example_query, record) == pytest.approx(score)

@@ -1,0 +1,134 @@
+"""Unit tests for the GB-KMV sketch (repro.core.gbkmv)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._errors import ConfigurationError, SketchCompatibilityError
+from repro.core import FrequentElementVocabulary, GBKMVSketch, GKMVSketch
+from repro.core.buffer import FrequentElementBuffer
+from repro.hashing import UnitHash
+
+
+@pytest.fixture
+def vocabulary() -> FrequentElementVocabulary:
+    return FrequentElementVocabulary(["e1", "e2"])
+
+
+class TestConstruction:
+    def test_from_record_splits_buffer_and_residual(self, vocabulary, hasher):
+        sketch = GBKMVSketch.from_record(
+            ["e1", "e2", "x", "y", "z"], vocabulary, threshold=1.0, hasher=hasher
+        )
+        assert sketch.buffer.count == 2
+        assert sketch.residual.record_size == 3
+        assert sketch.record_size == 5
+        assert sketch.threshold == 1.0
+        assert sketch.vocabulary is vocabulary
+
+    def test_residual_respects_threshold(self, vocabulary, hasher):
+        elements = ["e1"] + [f"tok{i}" for i in range(500)]
+        sketch = GBKMVSketch.from_record(elements, vocabulary, threshold=0.1, hasher=hasher)
+        assert sketch.residual.size < 500
+        assert np.all(sketch.residual.values <= 0.1)
+
+    def test_is_exact_when_threshold_is_one(self, vocabulary, hasher):
+        sketch = GBKMVSketch.from_record(["e1", "a", "b"], vocabulary, threshold=1.0, hasher=hasher)
+        assert sketch.is_exact
+
+    def test_memory_accounting_includes_buffer_cost(self, vocabulary, hasher):
+        sketch = GBKMVSketch.from_record(["e1", "a", "b"], vocabulary, threshold=1.0, hasher=hasher)
+        assert sketch.memory_in_values() == pytest.approx(2 + 2 / 32)
+
+    def test_inconsistent_record_size_rejected(self, vocabulary, hasher):
+        buffer = vocabulary.buffer_for(["e1", "e2"])
+        residual = GKMVSketch.from_record(["a", "b"], threshold=1.0, hasher=hasher)
+        with pytest.raises(ConfigurationError):
+            GBKMVSketch(buffer=buffer, residual=residual, record_size=3)
+
+    def test_repr(self, vocabulary, hasher):
+        sketch = GBKMVSketch.from_record(["e1", "a"], vocabulary, threshold=1.0, hasher=hasher)
+        assert "GBKMVSketch" in repr(sketch)
+
+
+class TestEstimators:
+    def test_paper_example_5(self):
+        """Example 5: GB-KMV estimate of |Q ∩ X1| is 2 (buffer) + 1.4 (G-KMV) ≈ 3.4."""
+        vocabulary = FrequentElementVocabulary(["e1", "e2"])
+        hasher = UnitHash(0)
+        query_buffer = vocabulary.buffer_for(["e1", "e2"])
+        query_residual = GKMVSketch.from_hash_values(
+            np.array([0.10, 0.33]), threshold=0.5, record_size=4, hasher=hasher
+        )
+        query = GBKMVSketch(buffer=query_buffer, residual=query_residual, record_size=6)
+
+        record_buffer = vocabulary.buffer_for(["e1", "e2"])
+        record_residual = GKMVSketch.from_hash_values(
+            np.array([0.33, 0.47]), threshold=0.5, record_size=3, hasher=hasher
+        )
+        record = GBKMVSketch(buffer=record_buffer, residual=record_residual, record_size=5)
+
+        residual_estimate = (1 / 3) * (2 / 0.47)
+        assert query.intersection_size_estimate(record) == pytest.approx(
+            2 + residual_estimate, rel=1e-9
+        )
+        assert query.containment_estimate(record, query_size=6) == pytest.approx(
+            (2 + residual_estimate) / 6, rel=1e-9
+        )
+
+    def test_exact_when_threshold_one(self, vocabulary, hasher):
+        query = GBKMVSketch.from_record(
+            ["e1", "e2", "a", "b", "c"], vocabulary, threshold=1.0, hasher=hasher
+        )
+        record = GBKMVSketch.from_record(
+            ["e2", "b", "c", "d"], vocabulary, threshold=1.0, hasher=hasher
+        )
+        assert query.intersection_size_estimate(record) == 3.0
+        assert query.union_size_estimate(record) == 6.0
+        assert query.containment_estimate(record) == pytest.approx(3 / 5)
+        assert query.jaccard_estimate(record) == pytest.approx(3 / 6)
+
+    def test_containment_defaults_to_sketch_record_size(self, vocabulary, hasher):
+        query = GBKMVSketch.from_record(["e1", "a"], vocabulary, threshold=1.0, hasher=hasher)
+        record = GBKMVSketch.from_record(["e1", "b"], vocabulary, threshold=1.0, hasher=hasher)
+        assert query.containment_estimate(record) == pytest.approx(0.5)
+
+    def test_containment_rejects_non_positive_query_size(self, vocabulary, hasher):
+        query = GBKMVSketch.from_record(["e1"], vocabulary, threshold=1.0, hasher=hasher)
+        with pytest.raises(ConfigurationError):
+            query.containment_estimate(query, query_size=0)
+
+    def test_union_estimate_without_residual_information(self, vocabulary, hasher):
+        query = GBKMVSketch(
+            buffer=vocabulary.buffer_for(["e1"]),
+            residual=GKMVSketch(threshold=0.01, values=np.array([]), record_size=10, hasher=hasher),
+            record_size=11,
+        )
+        record = GBKMVSketch(
+            buffer=vocabulary.buffer_for(["e2"]),
+            residual=GKMVSketch(threshold=0.01, values=np.array([]), record_size=5, hasher=hasher),
+            record_size=6,
+        )
+        # Buffer union (2) plus the known residual record sizes (10 + 5).
+        assert query.union_size_estimate(record) == 17.0
+
+    def test_incompatible_vocabularies_rejected(self, hasher):
+        a_vocab = FrequentElementVocabulary(["a"])
+        b_vocab = FrequentElementVocabulary(["b"])
+        a = GBKMVSketch.from_record(["a", "x"], a_vocab, threshold=1.0, hasher=hasher)
+        b = GBKMVSketch.from_record(["b", "x"], b_vocab, threshold=1.0, hasher=hasher)
+        with pytest.raises(SketchCompatibilityError):
+            a.intersection_size_estimate(b)
+
+    def test_estimate_accuracy_on_larger_records(self, hasher):
+        """Buffer + residual estimate should land near the true overlap."""
+        frequent = [f"hot{i}" for i in range(32)]
+        vocabulary = FrequentElementVocabulary(frequent)
+        query_elements = frequent[:20] + [f"q{i}" for i in range(2_000)]
+        record_elements = frequent[:25] + [f"q{i}" for i in range(1_000, 3_000)]
+        query = GBKMVSketch.from_record(query_elements, vocabulary, threshold=0.2, hasher=hasher)
+        record = GBKMVSketch.from_record(record_elements, vocabulary, threshold=0.2, hasher=hasher)
+        true_overlap = len(set(query_elements) & set(record_elements))
+        estimate = query.intersection_size_estimate(record)
+        assert abs(estimate - true_overlap) / true_overlap < 0.3

@@ -1,0 +1,164 @@
+"""Unit tests for the G-KMV sketch (repro.core.gkmv)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._errors import ConfigurationError, EstimationError, SketchCompatibilityError
+from repro.core import GKMVSketch, KMVSketch
+from repro.hashing import UnitHash
+
+
+class TestConstruction:
+    def test_keeps_only_values_below_threshold(self, hasher):
+        record = list(range(200))
+        sketch = GKMVSketch.from_record(record, threshold=0.2, hasher=hasher)
+        all_hashes = hasher.hash_many(record)
+        expected = np.sort(all_hashes[all_hashes <= 0.2])
+        np.testing.assert_allclose(sketch.values, expected)
+        assert sketch.record_size == 200
+
+    def test_expected_size_is_threshold_fraction(self, hasher):
+        record = list(range(20_000))
+        sketch = GKMVSketch.from_record(record, threshold=0.1, hasher=hasher)
+        assert abs(sketch.size - 2_000) / 2_000 < 0.1
+
+    def test_threshold_one_keeps_everything(self, hasher):
+        sketch = GKMVSketch.from_record(range(50), threshold=1.0, hasher=hasher)
+        assert sketch.size == 50
+        assert sketch.is_exact
+
+    def test_invalid_threshold_rejected(self, hasher):
+        with pytest.raises(ConfigurationError):
+            GKMVSketch.from_record([1], threshold=0.0, hasher=hasher)
+        with pytest.raises(ConfigurationError):
+            GKMVSketch.from_record([1], threshold=1.5, hasher=hasher)
+
+    def test_values_above_threshold_rejected(self, hasher):
+        with pytest.raises(ConfigurationError):
+            GKMVSketch(threshold=0.2, values=np.array([0.1, 0.3]), record_size=2, hasher=hasher)
+
+    def test_from_hash_values_filters(self, hasher):
+        sketch = GKMVSketch.from_hash_values(
+            np.array([0.05, 0.15, 0.45]), threshold=0.2, record_size=3, hasher=hasher
+        )
+        np.testing.assert_allclose(sketch.values, [0.05, 0.15])
+
+    def test_empty_record_allowed(self, hasher):
+        sketch = GKMVSketch.from_record([], threshold=0.5, hasher=hasher)
+        assert sketch.size == 0
+        assert sketch.record_size == 0
+        assert sketch.is_exact
+
+    def test_repr_and_len(self, hasher):
+        sketch = GKMVSketch.from_record(range(10), threshold=0.9, hasher=hasher)
+        assert len(sketch) == sketch.size
+        assert "GKMVSketch" in repr(sketch)
+
+
+class TestValidityAsKMV:
+    def test_as_kmv_preserves_values(self, hasher):
+        sketch = GKMVSketch.from_record(range(100), threshold=0.3, hasher=hasher)
+        kmv = sketch.as_kmv()
+        assert isinstance(kmv, KMVSketch)
+        np.testing.assert_allclose(kmv.values, sketch.values)
+        assert kmv.record_size == sketch.record_size
+
+    def test_theorem2_union_is_valid_kmv_sketch(self, hasher):
+        """Theorem 2: L_X ∪ L_Y holds the |L_X ∪ L_Y| smallest hashes of X ∪ Y."""
+        x = list(range(0, 300))
+        y = list(range(150, 450))
+        threshold = 0.25
+        lx = GKMVSketch.from_record(x, threshold=threshold, hasher=hasher)
+        ly = GKMVSketch.from_record(y, threshold=threshold, hasher=hasher)
+        union_sketch_values = np.union1d(lx.values, ly.values)
+        all_union_hashes = np.sort(hasher.hash_many(sorted(set(x) | set(y))))
+        k = union_sketch_values.size
+        np.testing.assert_allclose(union_sketch_values, all_union_hashes[:k])
+
+
+class TestEstimators:
+    def test_distinct_value_estimate_exact_when_complete(self, hasher):
+        sketch = GKMVSketch.from_record(range(30), threshold=1.0, hasher=hasher)
+        assert sketch.distinct_value_estimate() == 30.0
+
+    def test_distinct_value_estimate_close(self, hasher):
+        sketch = GKMVSketch.from_record(range(30_000), threshold=0.03, hasher=hasher)
+        estimate = sketch.distinct_value_estimate()
+        assert abs(estimate - 30_000) / 30_000 < 0.15
+
+    def test_distinct_value_estimate_needs_values(self, hasher):
+        sketch = GKMVSketch(
+            threshold=0.5, values=np.array([]), record_size=100, hasher=hasher
+        )
+        with pytest.raises(EstimationError):
+            sketch.distinct_value_estimate()
+
+    def test_paper_example_4(self):
+        """Example 4: G-KMV estimate of |Q ∩ X1| with τ = 0.5 is ≈ 3.19."""
+        hasher = UnitHash(0)
+        query = GKMVSketch.from_hash_values(
+            np.array([0.10, 0.24, 0.33]), threshold=0.5, record_size=6, hasher=hasher
+        )
+        record = GKMVSketch.from_hash_values(
+            np.array([0.24, 0.33, 0.47]), threshold=0.5, record_size=5, hasher=hasher
+        )
+        estimate = query.intersection_size_estimate(record)
+        assert estimate == pytest.approx((2 / 4) * (3 / 0.47), rel=1e-9)
+        assert query.containment_estimate(record, query_size=6) == pytest.approx(
+            estimate / 6
+        )
+
+    def test_intersection_exact_when_both_complete(self, hasher):
+        a = GKMVSketch.from_record([1, 2, 3, 4], threshold=1.0, hasher=hasher)
+        b = GKMVSketch.from_record([3, 4, 5], threshold=1.0, hasher=hasher)
+        assert a.intersection_size_estimate(b) == 2.0
+        assert a.union_size_estimate(b) == 5.0
+
+    def test_intersection_estimate_close_for_large_overlap(self, hasher):
+        a = GKMVSketch.from_record(range(0, 10_000), threshold=0.05, hasher=hasher)
+        b = GKMVSketch.from_record(range(2_000, 12_000), threshold=0.05, hasher=hasher)
+        estimate = a.intersection_size_estimate(b)
+        assert abs(estimate - 8_000) / 8_000 < 0.25
+
+    def test_disjoint_records_estimate_zero(self, hasher):
+        a = GKMVSketch.from_record(range(0, 2_000), threshold=0.05, hasher=hasher)
+        b = GKMVSketch.from_record(range(2_000, 4_000), threshold=0.05, hasher=hasher)
+        assert a.intersection_size_estimate(b) == 0.0
+
+    def test_no_information_gives_zero_not_error(self, hasher):
+        a = GKMVSketch(threshold=0.01, values=np.array([]), record_size=100, hasher=hasher)
+        b = GKMVSketch(threshold=0.01, values=np.array([]), record_size=200, hasher=hasher)
+        assert a.intersection_size_estimate(b) == 0.0
+
+    def test_different_thresholds_rejected(self, hasher):
+        a = GKMVSketch.from_record(range(10), threshold=0.5, hasher=hasher)
+        b = GKMVSketch.from_record(range(10), threshold=0.6, hasher=hasher)
+        with pytest.raises(SketchCompatibilityError):
+            a.intersection_size_estimate(b)
+
+    def test_different_hashers_rejected(self):
+        a = GKMVSketch.from_record(range(10), threshold=0.5, hasher=UnitHash(1))
+        b = GKMVSketch.from_record(range(10), threshold=0.5, hasher=UnitHash(2))
+        with pytest.raises(SketchCompatibilityError):
+            a.union_size_estimate(b)
+
+    def test_containment_requires_positive_query_size(self, hasher):
+        a = GKMVSketch.from_record(range(10), threshold=0.9, hasher=hasher)
+        with pytest.raises(ConfigurationError):
+            a.containment_estimate(a, query_size=0)
+
+    def test_gkmv_k_is_at_least_plain_kmv_k(self, hasher):
+        """Lemma 2 / Theorem 3 mechanism: the global threshold yields a larger k."""
+        x = list(range(0, 500))
+        y = list(range(250, 750))
+        budget_per_record = 50
+        kmv_x = KMVSketch.from_record(x, k=budget_per_record, hasher=hasher)
+        kmv_y = KMVSketch.from_record(y, k=budget_per_record, hasher=hasher)
+        plain_k = min(kmv_x.size, kmv_y.size)
+        threshold = budget_per_record / 500  # same expected per-record budget
+        g_x = GKMVSketch.from_record(x, threshold=threshold, hasher=hasher)
+        g_y = GKMVSketch.from_record(y, threshold=threshold, hasher=hasher)
+        gkmv_k = np.union1d(g_x.values, g_y.values).size
+        assert gkmv_k >= plain_k

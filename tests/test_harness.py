@@ -1,0 +1,109 @@
+"""Unit tests for the evaluation harness and reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.core import GBKMVIndex
+from repro.evaluation import (
+    evaluate_search_method,
+    exact_result_sets,
+    format_table,
+    series_to_rows,
+    time_construction,
+)
+from repro.evaluation.harness import measure_accuracy, run_experiment
+
+
+class TestGroundTruth:
+    def test_exact_result_sets(self, tiny_records, example_query):
+        truth = exact_result_sets(tiny_records, [example_query], threshold=0.5)
+        assert truth == [frozenset({0, 1})]
+
+    def test_one_set_per_query(self, tiny_records):
+        truth = exact_result_sets(tiny_records, [["e2"], ["e5"]], threshold=1.0)
+        assert truth == [frozenset({0, 1, 2, 3}), frozenset({1, 2})]
+
+
+class TestMeasureAccuracy:
+    def test_perfect_answers(self):
+        report = measure_accuracy([{1, 2}], [{1, 2}])
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+        assert report.f05 == 1.0
+        assert report.f1_min == 1.0
+        assert report.f1_max == 1.0
+
+    def test_mixed_answers_average(self):
+        report = measure_accuracy([{1}, set()], [{1}, {2}])
+        assert report.precision == pytest.approx(0.5)
+        assert report.recall == pytest.approx(0.5)
+        assert report.per_query_f1 == (1.0, 0.0)
+        assert report.f1_min == 0.0
+        assert report.f1_max == 1.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_accuracy([{1}], [{1}, {2}])
+
+
+class TestEvaluateSearchMethod:
+    def test_gbkmv_full_budget_is_perfect(self, tiny_records, example_query):
+        index = GBKMVIndex.build(tiny_records, space_fraction=1.0, buffer_size=2)
+        truth = exact_result_sets(tiny_records, [example_query], threshold=0.5)
+        evaluation = evaluate_search_method(
+            "GB-KMV", index, [example_query], truth, threshold=0.5
+        )
+        assert evaluation.method == "GB-KMV"
+        assert evaluation.accuracy.f1 == 1.0
+        assert evaluation.avg_query_seconds > 0.0
+        assert evaluation.space_in_values > 0.0
+
+    def test_run_experiment_builds_and_times(self, tiny_records, example_query):
+        results = run_experiment(
+            tiny_records,
+            [example_query],
+            threshold=0.5,
+            methods={
+                "GB-KMV": lambda: GBKMVIndex.build(
+                    tiny_records, space_fraction=1.0, buffer_size=2
+                )
+            },
+        )
+        assert set(results) == {"GB-KMV"}
+        assert results["GB-KMV"].construction_seconds > 0.0
+
+    def test_time_construction(self, tiny_records):
+        index, seconds = time_construction(
+            lambda: GBKMVIndex.build(tiny_records, space_fraction=1.0)
+        )
+        assert isinstance(index, GBKMVIndex)
+        assert seconds > 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment_and_floats(self):
+        table = format_table(
+            ["name", "f1"], [["GB-KMV", 0.91234], ["LSH-E", 0.5]], float_format="{:.2f}"
+        )
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "0.91" in table
+        assert "0.50" in table
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_format_table_validation(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+        with pytest.raises(ConfigurationError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_series_to_rows(self):
+        headers, rows = series_to_rows(
+            {"5%": {"f1": 0.8, "recall": 0.9}, "10%": {"f1": 0.85}}, x_label="space"
+        )
+        assert headers == ["space", "f1", "recall"]
+        assert rows[0][0] == "5%"
+        assert rows[1][2] != rows[1][2]  # NaN for the missing metric

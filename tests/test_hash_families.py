@@ -1,0 +1,98 @@
+"""Unit tests for repro.hashing.families.HashFamily."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.hashing import HashFamily
+
+
+class TestHashFamilyConstruction:
+    def test_size_and_seed_exposed(self):
+        family = HashFamily(size=16, seed=5)
+        assert family.size == 16
+        assert family.seed == 5
+        assert len(family) == 16
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashFamily(size=0)
+
+    def test_equality_by_size_and_seed(self):
+        assert HashFamily(8, 1) == HashFamily(8, 1)
+        assert HashFamily(8, 1) != HashFamily(8, 2)
+        assert HashFamily(8, 1) != HashFamily(16, 1)
+
+    def test_hashable(self):
+        assert len({HashFamily(8, 1), HashFamily(8, 1), HashFamily(8, 2)}) == 2
+
+    def test_iteration_yields_distinct_hashers(self):
+        family = HashFamily(size=10, seed=0)
+        seeds = {hasher.seed for hasher in family}
+        assert len(seeds) == 10
+
+    def test_indexing(self):
+        family = HashFamily(size=4, seed=3)
+        assert family[0] is not family[1]
+        assert family[0].seed != family[1].seed
+
+    def test_repr_mentions_size(self):
+        assert "size=4" in repr(HashFamily(size=4))
+
+
+class TestHashMatrix:
+    def test_shape(self):
+        family = HashFamily(size=8, seed=2)
+        matrix = family.hash_matrix([1, 2, 3])
+        assert matrix.shape == (3, 8)
+
+    def test_empty_input(self):
+        family = HashFamily(size=8, seed=2)
+        assert family.hash_matrix([]).shape == (0, 8)
+
+    def test_values_in_unit_interval(self):
+        family = HashFamily(size=8, seed=2)
+        matrix = family.hash_matrix(range(100))
+        assert matrix.min() >= 0.0
+        assert matrix.max() < 1.0
+
+    def test_columns_match_individual_hashers(self):
+        family = HashFamily(size=5, seed=9)
+        elements = [3, "x", 17]
+        matrix = family.hash_matrix(elements)
+        for column, hasher in enumerate(family):
+            expected = np.array([hasher(e) for e in elements])
+            np.testing.assert_allclose(matrix[:, column], expected)
+
+    def test_deterministic(self):
+        family = HashFamily(size=6, seed=11)
+        first = family.hash_matrix(["a", "b"])
+        second = family.hash_matrix(["a", "b"])
+        np.testing.assert_array_equal(first, second)
+
+
+class TestMinHashes:
+    def test_min_hashes_are_columnwise_minima(self):
+        family = HashFamily(size=7, seed=4)
+        elements = list(range(20))
+        matrix = family.hash_matrix(elements)
+        np.testing.assert_allclose(family.min_hashes(elements), matrix.min(axis=0))
+
+    def test_empty_record_rejected(self):
+        family = HashFamily(size=7, seed=4)
+        with pytest.raises(ConfigurationError):
+            family.min_hashes([])
+
+    def test_min_hashes_invariant_to_duplicates_and_order(self):
+        family = HashFamily(size=7, seed=4)
+        a = family.min_hashes([1, 2, 3, 2, 1])
+        b = family.min_hashes([3, 1, 2])
+        np.testing.assert_array_equal(a, b)
+
+    def test_superset_has_pointwise_smaller_or_equal_minima(self):
+        family = HashFamily(size=32, seed=4)
+        small = family.min_hashes([1, 2, 3])
+        large = family.min_hashes([1, 2, 3, 4, 5, 6])
+        assert np.all(large <= small)

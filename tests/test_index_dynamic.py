@@ -1,0 +1,68 @@
+"""Tests for dynamic insertion and threshold refitting of GBKMVIndex."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.core import GBKMVIndex
+
+
+class TestInsert:
+    def test_insert_returns_new_record_id(self, tiny_records):
+        index = GBKMVIndex.build(tiny_records, space_fraction=1.0, buffer_size=2)
+        new_id = index.insert(["e1", "e2", "e3"])
+        assert new_id == 4
+        assert index.num_records == 5
+
+    def test_inserted_record_is_searchable(self, tiny_records):
+        index = GBKMVIndex.build(tiny_records, space_fraction=1.0, buffer_size=2)
+        index.insert(["e1", "e2", "e3", "e5", "e7", "e9"])
+        hits = index.search(["e1", "e2", "e3", "e5", "e7", "e9"], threshold=0.99)
+        assert 4 in {hit.record_id for hit in hits}
+
+    def test_insert_empty_record_rejected(self, tiny_records):
+        index = GBKMVIndex.build(tiny_records, space_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            index.insert([])
+
+    def test_insert_updates_space_accounting(self, tiny_records):
+        index = GBKMVIndex.build(tiny_records, space_fraction=1.0, buffer_size=0)
+        before = index.space_in_values()
+        index.insert(["x1", "x2", "x3"])
+        assert index.space_in_values() >= before
+
+
+class TestRefitThreshold:
+    def test_refit_shrinks_when_over_budget(self, zipf_records):
+        base = zipf_records[:150]
+        extra = zipf_records[150:300]
+        index = GBKMVIndex.build(base, space_fraction=0.1, buffer_size=0)
+        original_threshold = index.threshold
+        for record in extra:
+            index.insert(record)
+        assert index.space_in_values() > index.budget  # over budget before refit
+        new_threshold = index.refit_threshold()
+        assert new_threshold <= original_threshold
+        assert index.space_in_values() <= index.budget * 1.05
+
+    def test_refit_is_noop_when_under_budget(self, tiny_records):
+        index = GBKMVIndex.build(tiny_records, space_fraction=1.0, buffer_size=0)
+        threshold = index.threshold
+        assert index.refit_threshold() == threshold
+
+    def test_search_still_correct_after_refit(self, zipf_records):
+        base = zipf_records[:150]
+        extra = zipf_records[150:200]
+        index = GBKMVIndex.build(base, space_fraction=0.2, buffer_size=0)
+        for record in extra:
+            index.insert(record)
+        index.refit_threshold()
+        # The vectorised search must stay consistent with per-sketch estimates.
+        query = zipf_records[160]
+        hits = {hit.record_id: hit.score for hit in index.search(query, threshold=0.0)}
+        query_sketch = index.query_sketch(query)
+        q = len(set(query))
+        for record_id in (0, 50, 150, 199):
+            expected = query_sketch.intersection_size_estimate(index.sketch(record_id)) / q
+            assert hits[record_id] == pytest.approx(expected, abs=1e-9)

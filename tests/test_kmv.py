@@ -1,0 +1,191 @@
+"""Unit tests for the KMV sketch (repro.core.kmv)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._errors import ConfigurationError, EstimationError, SketchCompatibilityError
+from repro.core import KMVSketch
+from repro.hashing import UnitHash
+
+
+class TestConstruction:
+    def test_from_record_keeps_k_smallest(self, hasher):
+        record = list(range(100))
+        sketch = KMVSketch.from_record(record, k=10, hasher=hasher)
+        all_hashes = np.sort(hasher.hash_many(record))
+        np.testing.assert_allclose(sketch.values, all_hashes[:10])
+        assert sketch.k == 10
+        assert sketch.size == 10
+        assert sketch.record_size == 100
+
+    def test_duplicates_collapsed(self, hasher):
+        sketch = KMVSketch.from_record([1, 1, 2, 2, 3], k=10, hasher=hasher)
+        assert sketch.record_size == 3
+        assert sketch.size == 3
+
+    def test_small_record_is_exact(self, hasher):
+        sketch = KMVSketch.from_record([1, 2, 3], k=10, hasher=hasher)
+        assert sketch.is_exact
+        assert sketch.size == 3
+
+    def test_large_record_is_not_exact(self, hasher):
+        sketch = KMVSketch.from_record(range(50), k=5, hasher=hasher)
+        assert not sketch.is_exact
+
+    def test_values_sorted(self, hasher):
+        sketch = KMVSketch.from_record(range(30), k=8, hasher=hasher)
+        assert np.all(np.diff(sketch.values) > 0)
+
+    def test_values_are_read_only(self, hasher):
+        sketch = KMVSketch.from_record(range(30), k=8, hasher=hasher)
+        with pytest.raises(ValueError):
+            sketch.values[0] = 0.5
+
+    def test_from_hash_values(self, hasher):
+        sketch = KMVSketch.from_hash_values([0.5, 0.1, 0.3], k=2, hasher=hasher)
+        np.testing.assert_allclose(sketch.values, [0.1, 0.3])
+
+    def test_default_hasher_used_when_omitted(self):
+        sketch = KMVSketch.from_record([1, 2, 3], k=2)
+        assert sketch.hasher == UnitHash()
+
+    def test_invalid_k_rejected(self, hasher):
+        with pytest.raises(ConfigurationError):
+            KMVSketch.from_record([1, 2], k=0, hasher=hasher)
+
+    def test_too_many_values_rejected(self, hasher):
+        with pytest.raises(ConfigurationError):
+            KMVSketch(k=2, values=np.array([0.1, 0.2, 0.3]), record_size=3, hasher=hasher)
+
+    def test_unsorted_values_rejected(self, hasher):
+        with pytest.raises(ConfigurationError):
+            KMVSketch(k=3, values=np.array([0.3, 0.1]), record_size=3, hasher=hasher)
+
+    def test_out_of_range_values_rejected(self, hasher):
+        with pytest.raises(ConfigurationError):
+            KMVSketch(k=3, values=np.array([0.1, 1.5]), record_size=3, hasher=hasher)
+
+    def test_negative_record_size_rejected(self, hasher):
+        with pytest.raises(ConfigurationError):
+            KMVSketch(k=3, values=np.array([0.1]), record_size=-1, hasher=hasher)
+
+    def test_repr_and_len(self, hasher):
+        sketch = KMVSketch.from_record(range(5), k=3, hasher=hasher)
+        assert len(sketch) == 3
+        assert "KMVSketch" in repr(sketch)
+
+    def test_equality(self, hasher):
+        a = KMVSketch.from_record(range(10), k=4, hasher=hasher)
+        b = KMVSketch.from_record(range(10), k=4, hasher=hasher)
+        c = KMVSketch.from_record(range(11), k=4, hasher=hasher)
+        assert a == b
+        assert a != c
+
+
+class TestDistinctValueEstimate:
+    def test_exact_when_sketch_holds_everything(self, hasher):
+        sketch = KMVSketch.from_record(range(7), k=100, hasher=hasher)
+        assert sketch.distinct_value_estimate() == 7.0
+
+    def test_estimate_close_for_large_sets(self, hasher):
+        n = 20_000
+        sketch = KMVSketch.from_record(range(n), k=512, hasher=hasher)
+        estimate = sketch.distinct_value_estimate()
+        assert abs(estimate - n) / n < 0.15
+
+    def test_estimate_requires_two_values(self, hasher):
+        sketch = KMVSketch(k=5, values=np.array([0.4]), record_size=50, hasher=hasher)
+        with pytest.raises(EstimationError):
+            sketch.distinct_value_estimate()
+
+    def test_kth_value_of_empty_sketch_raises(self, hasher):
+        sketch = KMVSketch(k=5, values=np.array([]), record_size=0, hasher=hasher)
+        with pytest.raises(EstimationError):
+            _ = sketch.kth_value
+
+
+class TestMergeAndUnion:
+    def test_merge_uses_min_k(self, hasher):
+        a = KMVSketch.from_record(range(100), k=10, hasher=hasher)
+        b = KMVSketch.from_record(range(50, 150), k=20, hasher=hasher)
+        merged = a.merge(b)
+        assert merged.size == 10
+
+    def test_merge_of_exact_sketches_is_exact_union(self, hasher):
+        a = KMVSketch.from_record([1, 2, 3], k=10, hasher=hasher)
+        b = KMVSketch.from_record([3, 4], k=10, hasher=hasher)
+        merged = a.merge(b)
+        assert merged.is_exact
+        assert merged.record_size == 4
+
+    def test_merge_requires_same_hasher(self):
+        a = KMVSketch.from_record(range(10), k=5, hasher=UnitHash(1))
+        b = KMVSketch.from_record(range(10), k=5, hasher=UnitHash(2))
+        with pytest.raises(SketchCompatibilityError):
+            a.merge(b)
+
+    def test_union_estimate_exact_for_small_sets(self, hasher):
+        a = KMVSketch.from_record([1, 2, 3], k=10, hasher=hasher)
+        b = KMVSketch.from_record([3, 4, 5], k=10, hasher=hasher)
+        assert a.union_size_estimate(b) == 5.0
+
+    def test_union_estimate_close_for_large_sets(self, hasher):
+        a = KMVSketch.from_record(range(0, 10_000), k=512, hasher=hasher)
+        b = KMVSketch.from_record(range(5_000, 15_000), k=512, hasher=hasher)
+        estimate = a.union_size_estimate(b)
+        assert abs(estimate - 15_000) / 15_000 < 0.2
+
+    def test_union_estimate_needs_two_slots(self, hasher):
+        a = KMVSketch.from_record(range(100), k=1, hasher=hasher)
+        b = KMVSketch.from_record(range(100), k=1, hasher=hasher)
+        with pytest.raises(EstimationError):
+            a.union_size_estimate(b)
+
+
+class TestIntersectionAndContainment:
+    def test_exact_for_small_sets(self, hasher):
+        a = KMVSketch.from_record([1, 2, 3, 4], k=10, hasher=hasher)
+        b = KMVSketch.from_record([3, 4, 5], k=10, hasher=hasher)
+        assert a.intersection_size_estimate(b) == 2.0
+
+    def test_disjoint_sets_estimate_zero(self, hasher):
+        a = KMVSketch.from_record(range(0, 1000), k=64, hasher=hasher)
+        b = KMVSketch.from_record(range(1000, 2000), k=64, hasher=hasher)
+        assert a.intersection_size_estimate(b) == 0.0
+
+    def test_estimate_close_for_large_overlap(self, hasher):
+        a = KMVSketch.from_record(range(0, 10_000), k=512, hasher=hasher)
+        b = KMVSketch.from_record(range(2_000, 12_000), k=512, hasher=hasher)
+        estimate = a.intersection_size_estimate(b)
+        assert abs(estimate - 8_000) / 8_000 < 0.35
+
+    def test_paper_example_2(self):
+        """Example 2: KMV estimate of |Q ∩ X1| on the toy dataset is ≈ 4.04."""
+        hasher = UnitHash(0)
+        query = KMVSketch.from_hash_values(
+            [0.10, 0.24, 0.33, 0.56], k=4, record_size=6, hasher=hasher
+        )
+        record = KMVSketch.from_hash_values(
+            [0.24, 0.33, 0.47], k=3, record_size=5, hasher=hasher
+        )
+        estimate = query.intersection_size_estimate(record)
+        assert estimate == pytest.approx((2 / 3) * (2 / 0.33), rel=1e-9)
+        containment = query.containment_estimate(record, query_size=6)
+        assert containment == pytest.approx(estimate / 6)
+
+    def test_containment_requires_positive_query_size(self, hasher):
+        a = KMVSketch.from_record([1, 2, 3], k=10, hasher=hasher)
+        with pytest.raises(ConfigurationError):
+            a.containment_estimate(a, query_size=0)
+
+    def test_containment_of_identical_exact_sets_is_one(self, hasher):
+        a = KMVSketch.from_record([1, 2, 3, 4], k=10, hasher=hasher)
+        assert a.containment_estimate(a, query_size=4) == 1.0
+
+    def test_incompatible_hashers_rejected(self):
+        a = KMVSketch.from_record(range(10), k=5, hasher=UnitHash(1))
+        b = KMVSketch.from_record(range(10), k=5, hasher=UnitHash(2))
+        with pytest.raises(SketchCompatibilityError):
+            a.intersection_size_estimate(b)

@@ -1,0 +1,109 @@
+"""Unit tests for the KMV / G-KMV search baselines (repro.baselines.kmv_search)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._errors import ConfigurationError, EmptyDatasetError
+from repro.baselines import GKMVSearchIndex, KMVSearchIndex
+from repro.exact import BruteForceSearcher
+
+
+class TestKMVSearchIndex:
+    def test_equal_allocation(self, zipf_records):
+        records = zipf_records[:100]
+        index = KMVSearchIndex.build(records, space_fraction=0.1)
+        total = sum(len(set(r)) for r in records)
+        assert index.k_per_record == max(int(0.1 * total) // 100, 1)
+        assert index.num_records == 100
+        assert len(index) == 100
+
+    def test_space_does_not_exceed_budget(self, zipf_records):
+        records = zipf_records[:100]
+        index = KMVSearchIndex.build(records, space_fraction=0.1)
+        total = sum(len(set(r)) for r in records)
+        assert index.space_in_values() <= 0.1 * total + index.num_records
+        assert 0.0 < index.space_fraction() <= 0.12
+
+    def test_exact_when_budget_is_full(self, tiny_records, example_query):
+        index = KMVSearchIndex.build(tiny_records, space_budget=1_000)
+        hits = {hit.record_id for hit in index.search(example_query, 0.5)}
+        assert hits == {0, 1}
+
+    def test_scores_normalised_by_query_size(self, tiny_records, example_query):
+        index = KMVSearchIndex.build(tiny_records, space_budget=1_000)
+        scores = {hit.record_id: hit.score for hit in index.search(example_query, 0.0)}
+        assert scores[0] == pytest.approx(4 / 6)
+
+    def test_zero_threshold_returns_all_records(self, tiny_records, example_query):
+        index = KMVSearchIndex.build(tiny_records, space_budget=1_000)
+        assert len(index.search(example_query, 0.0)) == len(tiny_records)
+
+    def test_recall_against_oracle(self, zipf_records):
+        records = zipf_records[:150]
+        index = KMVSearchIndex.build(records, space_fraction=0.3)
+        oracle = BruteForceSearcher(records)
+        hits = 0
+        total = 0
+        for query in records[:10]:
+            truth = {h.record_id for h in oracle.search(query, 0.5)}
+            found = {h.record_id for h in index.search(query, 0.5)}
+            hits += len(truth & found)
+            total += len(truth)
+        assert hits / total > 0.5
+
+    def test_validation(self, tiny_records):
+        with pytest.raises(EmptyDatasetError):
+            KMVSearchIndex.build([])
+        with pytest.raises(ConfigurationError):
+            KMVSearchIndex.build([["a"], []])
+        with pytest.raises(ConfigurationError):
+            KMVSearchIndex.build(tiny_records, space_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            KMVSearchIndex.build(tiny_records, space_budget=-1)
+        index = KMVSearchIndex.build(tiny_records, space_budget=100)
+        with pytest.raises(ConfigurationError):
+            index.search([], 0.5)
+        with pytest.raises(ConfigurationError):
+            index.search(["e1"], 1.5)
+
+
+class TestGKMVSearchIndex:
+    def test_wraps_zero_buffer_gbkmv(self, zipf_records):
+        records = zipf_records[:100]
+        index = GKMVSearchIndex.build(records, space_fraction=0.1)
+        assert index.inner.buffer_size == 0
+        assert index.num_records == 100
+        assert len(index) == 100
+        assert 0.0 < index.threshold <= 1.0
+        assert index.space_fraction() <= 0.11
+        assert index.space_in_values() > 0
+
+    def test_exact_when_budget_is_full(self, tiny_records, example_query):
+        index = GKMVSearchIndex.build(tiny_records, space_fraction=1.0)
+        hits = {hit.record_id for hit in index.search(example_query, 0.5)}
+        assert hits == {0, 1}
+
+    def test_gkmv_recall_not_worse_than_kmv(self, zipf_records):
+        """The Figure 6 ordering: G-KMV ≥ KMV in answer quality at equal space."""
+        records = zipf_records[:200]
+        oracle = BruteForceSearcher(records)
+        kmv = KMVSearchIndex.build(records, space_fraction=0.05)
+        gkmv = GKMVSearchIndex.build(records, space_fraction=0.05)
+
+        def average_f1(index) -> float:
+            scores = []
+            for query in records[:15]:
+                truth = {h.record_id for h in oracle.search(query, 0.5)}
+                found = {h.record_id for h in index.search(query, 0.5)}
+                tp = len(truth & found)
+                precision = tp / len(found) if found else 1.0
+                recall = tp / len(truth) if truth else 1.0
+                scores.append(
+                    0.0
+                    if precision + recall == 0
+                    else 2 * precision * recall / (precision + recall)
+                )
+            return sum(scores) / len(scores)
+
+        assert average_f1(gkmv) >= average_f1(kmv) - 0.05

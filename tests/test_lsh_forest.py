@@ -1,0 +1,78 @@
+"""Unit tests for the LSH Forest (repro.minhash.lsh_forest)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.hashing import HashFamily
+from repro.minhash import LSHForest, MinHashSignature
+
+
+@pytest.fixture
+def family() -> HashFamily:
+    return HashFamily(size=64, seed=3)
+
+
+class TestLSHForest:
+    def test_insert_and_query_identical(self, family):
+        forest = LSHForest(num_trees=8, depth=8)
+        signature = MinHashSignature.from_record(range(50), family)
+        forest.insert("x", signature)
+        assert "x" in forest
+        assert "x" in forest.query(signature, depth=8)
+        assert "x" in forest.query(signature, depth=1)
+
+    def test_deeper_queries_are_more_selective(self, family):
+        forest = LSHForest(num_trees=8, depth=8)
+        base = list(range(200))
+        for i in range(20):
+            record = base[: 150 + i] + list(range(1000 * i, 1000 * i + 40))
+            forest.insert(i, MinHashSignature.from_record(record, family))
+        query = MinHashSignature.from_record(base, family)
+        shallow = forest.query(query, depth=1)
+        deep = forest.query(query, depth=8)
+        assert deep <= shallow
+
+    def test_dissimilar_records_not_found_at_depth(self, family):
+        forest = LSHForest(num_trees=8, depth=8)
+        forest.insert("a", MinHashSignature.from_record(range(100), family))
+        other = MinHashSignature.from_record(range(5000, 5100), family)
+        assert "a" not in forest.query(other, depth=8)
+
+    def test_depth_bounds_enforced(self, family):
+        forest = LSHForest(num_trees=4, depth=4)
+        signature = MinHashSignature.from_record(range(30), family)
+        forest.insert("a", signature)
+        with pytest.raises(ConfigurationError):
+            forest.query(signature, depth=0)
+        with pytest.raises(ConfigurationError):
+            forest.query(signature, depth=5)
+
+    def test_signature_too_short_rejected(self):
+        forest = LSHForest(num_trees=8, depth=16)  # needs 128 values
+        short_family = HashFamily(size=64, seed=3)
+        signature = MinHashSignature.from_record(range(30), short_family)
+        with pytest.raises(ConfigurationError):
+            forest.insert("a", signature)
+
+    def test_duplicate_key_rejected(self, family):
+        forest = LSHForest(num_trees=4, depth=4)
+        signature = MinHashSignature.from_record(range(30), family)
+        forest.insert("a", signature)
+        with pytest.raises(ConfigurationError):
+            forest.insert("a", signature)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LSHForest(num_trees=0, depth=4)
+        with pytest.raises(ConfigurationError):
+            LSHForest(num_trees=4, depth=0)
+
+    def test_len_and_keys(self, family):
+        forest = LSHForest(num_trees=4, depth=4)
+        for key in range(3):
+            forest.insert(key, MinHashSignature.from_record(range(key, key + 30), family))
+        assert len(forest) == 3
+        assert forest.keys() == {0, 1, 2}
+        assert forest.num_perm_required == 16

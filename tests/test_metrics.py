@@ -1,0 +1,86 @@
+"""Unit tests for the accuracy metrics (repro.evaluation.metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.evaluation import ConfusionCounts, f_score, precision_recall
+
+
+class TestConfusionCounts:
+    def test_from_sets(self):
+        counts = ConfusionCounts.from_sets(truth={1, 2, 3}, answer={2, 3, 4, 5})
+        assert counts.true_positives == 2
+        assert counts.false_positives == 2
+        assert counts.false_negatives == 1
+
+    def test_precision_recall_basic(self):
+        counts = ConfusionCounts.from_sets({1, 2, 3, 4}, {3, 4, 5})
+        assert counts.precision == pytest.approx(2 / 3)
+        assert counts.recall == pytest.approx(2 / 4)
+
+    def test_perfect_answer(self):
+        counts = ConfusionCounts.from_sets({1, 2}, {1, 2})
+        assert counts.precision == 1.0
+        assert counts.recall == 1.0
+        assert counts.f_score(1.0) == 1.0
+
+    def test_empty_answer_non_empty_truth(self):
+        counts = ConfusionCounts.from_sets({1, 2}, set())
+        assert counts.precision == 0.0
+        assert counts.recall == 0.0
+        assert counts.f_score() == 0.0
+
+    def test_empty_truth_empty_answer_is_perfect(self):
+        counts = ConfusionCounts.from_sets(set(), set())
+        assert counts.precision == 1.0
+        assert counts.recall == 1.0
+
+    def test_empty_truth_non_empty_answer(self):
+        counts = ConfusionCounts.from_sets(set(), {1})
+        assert counts.precision == 0.0
+        assert counts.recall == 1.0
+
+    def test_accepts_iterables(self):
+        counts = ConfusionCounts.from_sets([1, 2, 2], (2, 3))
+        assert counts.true_positives == 1
+
+
+class TestPrecisionRecall:
+    def test_wrapper(self):
+        precision, recall = precision_recall({1, 2, 3}, {2, 3, 4})
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(2 / 3)
+
+
+class TestFScore:
+    def test_f1_is_harmonic_mean(self):
+        assert f_score(0.5, 1.0, alpha=1.0) == pytest.approx(2 * 0.5 * 1.0 / 1.5)
+
+    def test_equation_35_general_alpha(self):
+        precision, recall, alpha = 0.6, 0.9, 0.5
+        expected = (1 + alpha**2) * precision * recall / (alpha**2 * precision + recall)
+        assert f_score(precision, recall, alpha) == pytest.approx(expected)
+
+    def test_f05_weighs_precision_more(self):
+        high_precision = f_score(0.9, 0.5, alpha=0.5)
+        high_recall = f_score(0.5, 0.9, alpha=0.5)
+        assert high_precision > high_recall
+
+    def test_f1_is_symmetric(self):
+        assert f_score(0.3, 0.8) == pytest.approx(f_score(0.8, 0.3))
+
+    def test_zero_denominator(self):
+        assert f_score(0.0, 0.0) == 0.0
+
+    def test_bounds(self):
+        assert 0.0 <= f_score(0.37, 0.81) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            f_score(0.5, 0.5, alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            f_score(1.5, 0.5)
+        with pytest.raises(ConfigurationError):
+            f_score(0.5, -0.1)

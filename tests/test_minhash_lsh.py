@@ -1,0 +1,153 @@
+"""Unit tests for banded MinHash LSH and parameter optimisation (repro.minhash.lsh)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.hashing import HashFamily
+from repro.minhash import MinHashLSH, MinHashSignature, candidate_probability, optimal_lsh_params
+from repro.minhash.lsh import false_negative_area, false_positive_area
+
+
+class TestCandidateProbability:
+    def test_boundary_values(self):
+        assert candidate_probability(0.0, 4, 8) == 0.0
+        assert candidate_probability(1.0, 4, 8) == 1.0
+
+    def test_monotone_in_similarity(self):
+        probabilities = [candidate_probability(s, 8, 4) for s in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert probabilities == sorted(probabilities)
+
+    def test_more_bands_increase_probability(self):
+        assert candidate_probability(0.5, 16, 4) > candidate_probability(0.5, 4, 4)
+
+    def test_more_rows_decrease_probability(self):
+        assert candidate_probability(0.5, 8, 8) < candidate_probability(0.5, 8, 2)
+
+    def test_invalid_similarity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            candidate_probability(1.5, 4, 4)
+
+
+class TestAreas:
+    def test_false_positive_area_increases_with_bands(self):
+        assert false_positive_area(0.5, 32, 2) > false_positive_area(0.5, 2, 2)
+
+    def test_false_negative_area_decreases_with_bands(self):
+        assert false_negative_area(0.5, 32, 2) < false_negative_area(0.5, 2, 2)
+
+    def test_areas_bounded_by_interval_length(self):
+        assert 0.0 <= false_positive_area(0.4, 8, 4) <= 0.4 + 1e-9
+        assert 0.0 <= false_negative_area(0.4, 8, 4) <= 0.6 + 1e-9
+
+
+class TestOptimalParams:
+    def test_respects_num_perm(self):
+        bands, rows = optimal_lsh_params(0.5, num_perm=64)
+        assert bands * rows <= 64
+        assert bands >= 1 and rows >= 1
+
+    def test_higher_threshold_prefers_more_rows(self):
+        _, rows_low = optimal_lsh_params(0.1, num_perm=128)
+        _, rows_high = optimal_lsh_params(0.9, num_perm=128)
+        assert rows_high >= rows_low
+
+    def test_rows_candidates_restriction(self):
+        bands, rows = optimal_lsh_params(0.5, num_perm=64, rows_candidates=[4, 8])
+        assert rows in (4, 8)
+        assert bands * rows <= 64
+
+    def test_empty_rows_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimal_lsh_params(0.5, num_perm=8, rows_candidates=[100])
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimal_lsh_params(-0.1, num_perm=16)
+
+    def test_invalid_num_perm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            optimal_lsh_params(0.5, num_perm=0)
+
+    def test_recall_weighting_increases_bands(self):
+        recall_first = optimal_lsh_params(
+            0.5, num_perm=128, false_positive_weight=0.1, false_negative_weight=0.9
+        )
+        precision_first = optimal_lsh_params(
+            0.5, num_perm=128, false_positive_weight=0.9, false_negative_weight=0.1
+        )
+        # More bands (or fewer rows) → more candidates → recall-leaning.
+        recall_aggressiveness = recall_first[0] / recall_first[1]
+        precision_aggressiveness = precision_first[0] / precision_first[1]
+        assert recall_aggressiveness >= precision_aggressiveness
+
+
+class TestMinHashLSH:
+    @pytest.fixture
+    def family(self) -> HashFamily:
+        return HashFamily(size=64, seed=21)
+
+    def test_insert_and_query_identical(self, family):
+        lsh = MinHashLSH(num_bands=16, rows_per_band=4)
+        signature = MinHashSignature.from_record(range(40), family)
+        lsh.insert("a", signature)
+        assert "a" in lsh
+        assert "a" in lsh.query(signature)
+
+    def test_similar_records_are_candidates(self, family):
+        lsh = MinHashLSH(num_bands=16, rows_per_band=4)
+        base = list(range(100))
+        lsh.insert("base", MinHashSignature.from_record(base, family))
+        similar = MinHashSignature.from_record(base[:95] + [1000, 1001, 1002, 1003, 1004], family)
+        assert "base" in lsh.query(similar)
+
+    def test_dissimilar_records_usually_not_candidates(self, family):
+        lsh = MinHashLSH(num_bands=8, rows_per_band=8)
+        lsh.insert("base", MinHashSignature.from_record(range(100), family))
+        other = MinHashSignature.from_record(range(10_000, 10_100), family)
+        assert "base" not in lsh.query(other)
+
+    def test_duplicate_key_rejected(self, family):
+        lsh = MinHashLSH(num_bands=4, rows_per_band=4)
+        signature = MinHashSignature.from_record(range(10), family)
+        lsh.insert("a", signature)
+        with pytest.raises(ConfigurationError):
+            lsh.insert("a", signature)
+
+    def test_remove(self, family):
+        lsh = MinHashLSH(num_bands=4, rows_per_band=4)
+        signature = MinHashSignature.from_record(range(10), family)
+        lsh.insert("a", signature)
+        lsh.remove("a", signature)
+        assert "a" not in lsh
+        assert lsh.query(signature) == set()
+        with pytest.raises(ConfigurationError):
+            lsh.remove("a", signature)
+
+    def test_len_and_keys(self, family):
+        lsh = MinHashLSH(num_bands=4, rows_per_band=4)
+        for key in range(5):
+            lsh.insert(key, MinHashSignature.from_record(range(key, key + 20), family))
+        assert len(lsh) == 5
+        assert set(lsh.keys()) == set(range(5))
+
+    def test_max_bands_limits_probing(self, family):
+        lsh = MinHashLSH(num_bands=16, rows_per_band=4)
+        signature = MinHashSignature.from_record(range(40), family)
+        lsh.insert("a", signature)
+        # Probing a single band of an identical signature still matches.
+        assert "a" in lsh.query(signature, max_bands=1)
+        with pytest.raises(ConfigurationError):
+            lsh.query(signature, max_bands=0)
+        with pytest.raises(ConfigurationError):
+            lsh.query(signature, max_bands=17)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MinHashLSH(num_bands=0, rows_per_band=4)
+        with pytest.raises(ConfigurationError):
+            MinHashLSH(num_bands=4, rows_per_band=0)
+
+    def test_num_perm_required(self):
+        assert MinHashLSH(num_bands=8, rows_per_band=4).num_perm_required == 32

@@ -1,0 +1,138 @@
+"""Unit tests for MinHash signatures (repro.minhash.signature)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._errors import ConfigurationError, SketchCompatibilityError
+from repro.exact import containment_similarity, jaccard_similarity
+from repro.hashing import HashFamily
+from repro.minhash import MinHashSignature
+
+
+class TestConstruction:
+    def test_signature_length_equals_family_size(self, family):
+        signature = MinHashSignature.from_record(range(20), family)
+        assert signature.size == family.size
+        assert len(signature) == family.size
+        assert signature.record_size == 20
+
+    def test_duplicates_ignored(self, family):
+        a = MinHashSignature.from_record([1, 2, 2, 3], family)
+        b = MinHashSignature.from_record([1, 2, 3], family)
+        np.testing.assert_array_equal(a.values, b.values)
+        assert a.record_size == b.record_size == 3
+
+    def test_empty_record_rejected(self, family):
+        with pytest.raises(ConfigurationError):
+            MinHashSignature.from_record([], family)
+
+    def test_values_read_only(self, family):
+        signature = MinHashSignature.from_record(range(5), family)
+        with pytest.raises(ValueError):
+            signature.values[0] = 0.0
+
+    def test_wrong_length_rejected(self, family):
+        with pytest.raises(ConfigurationError):
+            MinHashSignature(np.zeros(3), record_size=5, family=family)
+
+    def test_memory_accounting(self, family):
+        signature = MinHashSignature.from_record(range(5), family)
+        assert signature.memory_in_values() == family.size
+
+    def test_repr(self, family):
+        assert "MinHashSignature" in repr(MinHashSignature.from_record(range(5), family))
+
+
+class TestJaccardEstimate:
+    def test_identical_records_estimate_one(self, family):
+        a = MinHashSignature.from_record(range(50), family)
+        b = MinHashSignature.from_record(range(50), family)
+        assert a.jaccard_estimate(b) == 1.0
+
+    def test_disjoint_records_estimate_near_zero(self, family):
+        a = MinHashSignature.from_record(range(0, 500), family)
+        b = MinHashSignature.from_record(range(500, 1000), family)
+        assert a.jaccard_estimate(b) < 0.1
+
+    def test_estimate_close_to_truth(self):
+        family = HashFamily(size=512, seed=3)
+        x = set(range(0, 600))
+        y = set(range(300, 900))
+        a = MinHashSignature.from_record(x, family)
+        b = MinHashSignature.from_record(y, family)
+        truth = jaccard_similarity(x, y)
+        assert abs(a.jaccard_estimate(b) - truth) < 0.1
+
+    def test_symmetry(self, family):
+        a = MinHashSignature.from_record(range(0, 40), family)
+        b = MinHashSignature.from_record(range(20, 60), family)
+        assert a.jaccard_estimate(b) == b.jaccard_estimate(a)
+
+    def test_different_families_rejected(self):
+        a = MinHashSignature.from_record(range(10), HashFamily(16, seed=1))
+        b = MinHashSignature.from_record(range(10), HashFamily(16, seed=2))
+        with pytest.raises(SketchCompatibilityError):
+            a.jaccard_estimate(b)
+
+
+class TestContainmentEstimate:
+    def test_transformation_matches_equation_14(self):
+        family = HashFamily(size=256, seed=5)
+        query = set(range(0, 100))
+        record = set(range(50, 400))
+        q_sig = MinHashSignature.from_record(query, family)
+        x_sig = MinHashSignature.from_record(record, family)
+        s_hat = q_sig.jaccard_estimate(x_sig)
+        expected = (len(record) / len(query) + 1.0) * s_hat / (1.0 + s_hat)
+        assert q_sig.containment_estimate(x_sig) == pytest.approx(min(expected, 1.0))
+
+    def test_estimate_close_to_truth(self):
+        family = HashFamily(size=512, seed=9)
+        query = set(range(0, 200))
+        record = set(range(100, 700))
+        q_sig = MinHashSignature.from_record(query, family)
+        x_sig = MinHashSignature.from_record(record, family)
+        truth = containment_similarity(query, record)
+        assert abs(q_sig.containment_estimate(x_sig) - truth) < 0.15
+
+    def test_clamped_to_one(self, family):
+        a = MinHashSignature.from_record(range(10), family)
+        b = MinHashSignature.from_record(range(1000), family)
+        assert a.containment_estimate(b) <= 1.0
+
+    def test_explicit_query_size(self, family):
+        a = MinHashSignature.from_record(range(10), family)
+        b = MinHashSignature.from_record(range(5, 15), family)
+        default = a.containment_estimate(b)
+        doubled = a.containment_estimate(b, query_size=20)
+        assert doubled <= default
+
+    def test_invalid_query_size(self, family):
+        a = MinHashSignature.from_record(range(10), family)
+        with pytest.raises(ConfigurationError):
+            a.containment_estimate(a, query_size=0)
+
+
+class TestBandHashes:
+    def test_band_count_and_determinism(self, family):
+        signature = MinHashSignature.from_record(range(30), family)
+        bands = signature.band_hashes(num_bands=8, rows_per_band=8)
+        assert len(bands) == 8
+        assert bands == signature.band_hashes(num_bands=8, rows_per_band=8)
+
+    def test_identical_signatures_share_all_bands(self, family):
+        a = MinHashSignature.from_record(range(30), family)
+        b = MinHashSignature.from_record(range(30), family)
+        assert a.band_hashes(8, 8) == b.band_hashes(8, 8)
+
+    def test_too_many_rows_rejected(self, family):
+        signature = MinHashSignature.from_record(range(30), family)
+        with pytest.raises(ConfigurationError):
+            signature.band_hashes(num_bands=9, rows_per_band=8)
+
+    def test_invalid_band_shape_rejected(self, family):
+        signature = MinHashSignature.from_record(range(30), family)
+        with pytest.raises(ConfigurationError):
+            signature.band_hashes(num_bands=0, rows_per_band=8)

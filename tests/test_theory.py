@@ -1,0 +1,163 @@
+"""Unit tests for the analytical formulas (repro.theory)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.theory import (
+    average_k_gkmv,
+    average_k_kmv,
+    frequency_second_moment,
+    gkmv_beats_kmv,
+    lshe_containment_expectation,
+    lshe_containment_variance,
+    minhash_containment_expectation,
+    minhash_containment_variance,
+    minhash_jaccard_variance,
+    optimal_equal_allocation_total_k,
+    split_universe_variance_penalty,
+    taylor_expectation,
+    taylor_variance,
+    theorem3_alpha_bound,
+)
+
+
+class TestTaylor:
+    def test_linear_function_is_exact(self):
+        # f(x) = 3x + 1: E[f(X)] = 3 E[X] + 1, Var[f(X)] = 9 Var[X].
+        assert taylor_expectation(lambda x: 3 * x + 1, lambda x: 0.0, mean=2.0, variance=0.5) == 7.0
+        assert taylor_variance(lambda x: 3.0, lambda x: 0.0, mean=2.0, variance=0.5) == pytest.approx(4.5)
+
+    def test_quadratic_expectation_correction(self):
+        # f(x) = x^2: E[f(X)] ≈ mean^2 + variance.
+        value = taylor_expectation(lambda x: x * x, lambda x: 2.0, mean=3.0, variance=0.25)
+        assert value == pytest.approx(9.0 + 0.25)
+
+    def test_variance_never_negative(self):
+        assert taylor_variance(lambda x: 0.1, lambda x: 10.0, mean=1.0, variance=2.0) >= 0.0
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            taylor_expectation(lambda x: x, lambda x: 0.0, mean=0.0, variance=-1.0)
+
+
+class TestMinHashMoments:
+    def test_jaccard_variance_formula(self):
+        assert minhash_jaccard_variance(0.3, 100) == pytest.approx(0.3 * 0.7 / 100)
+
+    def test_jaccard_variance_zero_at_extremes(self):
+        assert minhash_jaccard_variance(0.0, 10) == 0.0
+        assert minhash_jaccard_variance(1.0, 10) == 0.0
+
+    def test_containment_expectation_is_negatively_biased(self):
+        value = minhash_containment_expectation(containment=0.6, jaccard=0.3, num_hashes=64)
+        assert value < 0.6
+        assert value > 0.55
+
+    def test_bias_vanishes_with_many_hashes(self):
+        few = minhash_containment_expectation(0.6, 0.3, 16)
+        many = minhash_containment_expectation(0.6, 0.3, 4096)
+        assert abs(many - 0.6) < abs(few - 0.6)
+
+    def test_containment_variance_decreases_with_hashes(self):
+        few = minhash_containment_variance(50, 0.3, query_size=100, num_hashes=32)
+        many = minhash_containment_variance(50, 0.3, query_size=100, num_hashes=512)
+        assert many < few
+
+    def test_containment_variance_zero_jaccard(self):
+        assert minhash_containment_variance(0, 0.0, 10, 16) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            minhash_jaccard_variance(1.5, 10)
+        with pytest.raises(ConfigurationError):
+            minhash_containment_variance(10, 0.5, 0, 16)
+        with pytest.raises(ConfigurationError):
+            minhash_containment_expectation(0.5, 0.5, 0)
+
+
+class TestLSHEMoments:
+    def test_upper_bound_inflates_expectation(self):
+        base = minhash_containment_expectation(0.5, 0.3, 64)
+        inflated = lshe_containment_expectation(
+            0.5, 0.3, 64, record_size=100, upper_bound=400, query_size=50
+        )
+        assert inflated == pytest.approx((400 + 50) / (100 + 50) * base)
+        assert inflated > base
+
+    def test_tight_upper_bound_matches_minhash(self):
+        base = minhash_containment_expectation(0.5, 0.3, 64)
+        tight = lshe_containment_expectation(
+            0.5, 0.3, 64, record_size=100, upper_bound=100, query_size=50
+        )
+        assert tight == pytest.approx(base)
+
+    def test_variance_is_inflated_by_square_factor(self):
+        base = minhash_containment_variance(30, 0.3, 50, 64)
+        inflated = lshe_containment_variance(
+            30, 0.3, 50, 64, record_size=100, upper_bound=300
+        )
+        assert inflated == pytest.approx(((300 + 50) / (100 + 50)) ** 2 * base)
+        assert inflated > base
+
+    def test_upper_bound_below_record_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lshe_containment_variance(30, 0.3, 50, 64, record_size=100, upper_bound=50)
+
+
+class TestTheoremComparisons:
+    def test_average_k_formulas(self):
+        assert average_k_kmv(1000, 100) == 10.0
+        fn2 = 1e-4
+        assert average_k_gkmv(1000, 100, fn2) == pytest.approx(2 * 10 - 100 * fn2)
+
+    def test_frequency_second_moment(self):
+        assert frequency_second_moment([1, 1, 1, 1]) == pytest.approx(4 / 16)
+        with pytest.raises(ConfigurationError):
+            frequency_second_moment([])
+        with pytest.raises(ConfigurationError):
+            frequency_second_moment([0, 1])
+
+    def test_theorem3_gkmv_beats_kmv_on_realistic_skew(self):
+        """For Zipf-like frequencies (α1 ≈ 1.2 « 3.4) G-KMV's average k is larger."""
+        frequencies = np.maximum(np.round(1000 * np.arange(1, 2000) ** -1.2), 1)
+        gkmv_k, kmv_k = gkmv_beats_kmv(budget=4000, num_records=1000, frequencies=frequencies)
+        assert gkmv_k > kmv_k
+
+    def test_theorem3_alpha_bound_near_3_4(self):
+        assert theorem3_alpha_bound(budget=1000, num_records=1000) == pytest.approx(
+            2 + np.sqrt(2), rel=1e-9
+        )
+        assert theorem3_alpha_bound(budget=10_000, num_records=1000) < 3.4
+
+    def test_theorem1_equal_allocation_not_worse(self):
+        """Any unequal allocation achieves at most the equal-allocation total k."""
+        budget = 120
+        equal_k = budget // 12
+        for allocation in (
+            [1] * 6 + [19] * 6,
+            [5] * 6 + [15] * 6,
+            [2, 2, 2, 2, 2, 2, 18, 18, 18, 18, 18, 18],
+        ):
+            given, equal = optimal_equal_allocation_total_k(budget, equal_k, allocation)
+            assert given <= equal
+
+    def test_theorem4_split_universe_never_helps(self):
+        variance_split, variance_joint = split_universe_variance_penalty(
+            intersection_sizes=(40.0, 60.0),
+            union_sizes=(200.0, 400.0),
+            sketch_sizes=(32, 32),
+        )
+        assert variance_split >= variance_joint
+
+    def test_theorem4_validation(self):
+        with pytest.raises(ConfigurationError):
+            split_universe_variance_penalty((1.0, 1.0), (2.0, 2.0), (2, 32))
+
+    def test_theorem1_validation(self):
+        with pytest.raises(ConfigurationError):
+            optimal_equal_allocation_total_k(10, 2, [20])
+        with pytest.raises(ConfigurationError):
+            optimal_equal_allocation_total_k(10, 2, [])
