@@ -71,8 +71,15 @@ def evaluate_methods(
     ground_truth: Sequence[frozenset[int]],
     threshold: float,
     methods: dict[str, Callable[[], object]],
+    use_batched: bool = True,
 ) -> dict[str, MethodEvaluation]:
-    """Build and evaluate each method on a shared workload."""
+    """Build and evaluate each method on a shared workload.
+
+    Methods exposing ``search_many`` (GB-KMV and the KMV/G-KMV baselines)
+    are driven through the batched query engine; the rest (LSH-E,
+    asymmetric MinHash, the exact searchers) fall back to per-query
+    loops inside the harness.
+    """
     evaluations: dict[str, MethodEvaluation] = {}
     for name, builder in methods.items():
         built, construction_seconds = time_construction(builder)
@@ -83,6 +90,7 @@ def evaluate_methods(
             ground_truth,
             threshold,
             construction_seconds=construction_seconds,
+            use_batched=use_batched,
         )
     return evaluations
 

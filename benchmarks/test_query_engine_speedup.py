@@ -1,0 +1,192 @@
+"""Micro-benchmark — columnar batched query engine vs per-record scoring.
+
+The PR that introduced :class:`~repro.core.store.ColumnarSketchStore`
+claims that consolidating sketch state into flat arrays and batching
+candidate scoring removes the interpreter overhead that used to dominate
+query time.  This benchmark pins that claim on a 10k-record power-law
+dataset:
+
+* **per-record path** — score a query against every record by
+  materialising per-record sketch objects and calling the scalar
+  Equation-25 estimator pair by pair (what a naive reproduction does);
+* **looped path** — one :meth:`GBKMVIndex.search` call per query (the
+  single-query engine: one vectorised CSR merge per query);
+* **batched path** — one :meth:`GBKMVIndex.search_many` call for the
+  whole workload (query preparation and estimator arithmetic batched
+  over the value→record join index).
+
+Asserted invariants:
+
+* the batched scores are **bitwise identical** to the per-record
+  sketch-object scores, and ``search_many`` returns exactly the hits of
+  looped ``search`` — the speed comes from batching, not approximation;
+* the batched path scores records at least **5×** faster than the
+  per-record path (in practice the gap is orders of magnitude).
+
+The measured throughputs are also written to ``BENCH_query_engine.json``
+at the repository root so future PRs can track the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _util import bench_num_queries, bench_scale, write_report
+
+from repro.core import GBKMVIndex
+from repro.datasets import generate_zipf_dataset, sample_queries
+
+SPACE_FRACTION = 0.10
+THRESHOLD = 0.5
+NUM_PER_RECORD_QUERIES = 3  # the per-record path is slow; sample it
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_query_engine.json"
+
+
+def _num_records() -> int:
+    """10k records at the default scale (0.25); REPRO_BENCH_SCALE tunes it."""
+    return max(int(40_000 * bench_scale()), 1_000)
+
+
+def _dataset(num_records: int) -> list[list[int]]:
+    return generate_zipf_dataset(
+        num_records=num_records,
+        universe_size=80_000,
+        element_exponent=1.15,
+        size_exponent=3.0,
+        min_record_size=10,
+        max_record_size=200,
+        seed=41,
+    )
+
+
+def _timed(function) -> float:
+    start = time.perf_counter()
+    function()
+    return time.perf_counter() - start
+
+
+def _per_record_scores(index: GBKMVIndex, query) -> np.ndarray:
+    """Score every record through per-record sketch objects (the old path)."""
+    query_sketch = index.query_sketch(query)
+    return np.array(
+        [
+            query_sketch.intersection_size_estimate(index.sketch(record_id))
+            for record_id in range(index.num_records)
+        ],
+        dtype=np.float64,
+    )
+
+
+def _run() -> dict[str, object]:
+    num_records = _num_records()
+    num_queries = bench_num_queries()
+    records = _dataset(num_records)
+    queries, _ids = sample_queries(records, num_queries=num_queries, seed=17)
+
+    build_start = time.perf_counter()
+    index = GBKMVIndex.build(records, space_fraction=SPACE_FRACTION)
+    build_seconds = time.perf_counter() - build_start
+    index.store.finalize()  # measure query paths, not one-off cache building
+
+    def best_of(function, rounds: int = 3):
+        """Warm up once, then keep the fastest of ``rounds`` runs."""
+        result = function()
+        seconds = min(
+            _timed(function) for _ in range(rounds)
+        )
+        return result, seconds
+
+    # Per-record sketch-object path (a sample of the workload; it is slow,
+    # so one timed pass is plenty).
+    per_record_queries = queries[:NUM_PER_RECORD_QUERIES]
+    start = time.perf_counter()
+    per_record_scores = [_per_record_scores(index, query) for query in per_record_queries]
+    per_record_seconds = time.perf_counter() - start
+    per_record_rps = num_records * len(per_record_queries) / per_record_seconds
+
+    # Looped single-query engine.
+    looped_results, looped_seconds = best_of(
+        lambda: [index.search(query, THRESHOLD) for query in queries]
+    )
+    looped_rps = num_records * len(queries) / looped_seconds
+
+    # Batched engine.
+    batched_results, batched_seconds = best_of(
+        lambda: index.search_many(queries, THRESHOLD)
+    )
+    batched_rps = num_records * len(queries) / batched_seconds
+
+    # --- identity checks -------------------------------------------------
+    # search_many must return exactly what looped search returns.
+    for looped, batched in zip(looped_results, batched_results):
+        assert [(hit.record_id, hit.score) for hit in looped] == [
+            (hit.record_id, hit.score) for hit in batched
+        ]
+    # The engine's intersection estimates must be bitwise identical to the
+    # per-record sketch-object estimates (same hasher, same formulas).
+    batched_scores = index.search_many(
+        per_record_queries, 0.0
+    )  # threshold 0 keeps every record
+    for reference, engine_hits, query in zip(
+        per_record_scores, batched_scores, per_record_queries
+    ):
+        assert len(engine_hits) == num_records
+        q = len(set(query))
+        engine_scores = np.empty(num_records, dtype=np.float64)
+        for hit in engine_hits:
+            engine_scores[hit.record_id] = hit.score
+        # search reports containment (estimate / |Q|); apply the same
+        # division to the reference so the comparison stays bit-exact.
+        assert np.array_equal(engine_scores, reference / q), (
+            "batched scores are not bitwise identical to the per-record path"
+        )
+
+    speedup_vs_per_record = batched_rps / per_record_rps
+    speedup_vs_looped = batched_rps / looped_rps
+    assert speedup_vs_per_record >= 5.0, (
+        f"batched path is only {speedup_vs_per_record:.1f}x the per-record path"
+    )
+
+    payload = {
+        "dataset": {
+            "num_records": num_records,
+            "distribution": "power-law (zipf element frequency, zipf record size)",
+            "space_fraction": SPACE_FRACTION,
+            "threshold": THRESHOLD,
+            "num_queries": num_queries,
+        },
+        "build_seconds": round(build_seconds, 3),
+        "records_per_second": {
+            "per_record_sketch_objects": round(per_record_rps, 1),
+            "looped_search": round(looped_rps, 1),
+            "batched_search_many": round(batched_rps, 1),
+        },
+        "speedup": {
+            "batched_vs_per_record": round(speedup_vs_per_record, 1),
+            "batched_vs_looped_search": round(speedup_vs_looped, 1),
+        },
+        "identical_results": True,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+def test_query_engine_speedup(run_once):
+    payload = run_once(_run)
+    rates = payload["records_per_second"]
+    write_report(
+        "query_engine_speedup",
+        "Batched query engine: records scored per second (10k power-law records)",
+        ["path", "records_per_second"],
+        [
+            ["per-record sketch objects", rates["per_record_sketch_objects"]],
+            ["looped search()", rates["looped_search"]],
+            ["batched search_many()", rates["batched_search_many"]],
+        ],
+    )
+    assert payload["speedup"]["batched_vs_per_record"] >= 5.0

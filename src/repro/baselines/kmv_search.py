@@ -3,12 +3,18 @@
 ``KMVSearchIndex`` keeps, for every record, its ``k = ⌊b / m⌋`` smallest
 hash values — the equal allocation Theorem 1 shows to be optimal for
 plain KMV under a space budget ``b`` — and answers containment search
-with the Equation-10 intersection estimator.
+with the Equation-10 intersection estimator.  The per-record values live
+in a dense ``(num_records, k)`` float64 matrix (rows padded with
+``+inf``), so one query is scored against every record with a single
+call into the batched estimator layer
+(:func:`repro.core.batched.kmv_intersection_estimates`), and a whole
+workload with :meth:`KMVSearchIndex.search_many`.
 
 ``GKMVSearchIndex`` keeps every hash value below a single global
 threshold ``τ`` chosen so the sketches fill the budget, and estimates
 with the enlarged-``k`` estimator of Equations 24–26.  It is exactly a
-GB-KMV index with buffer size zero, and is implemented as such.
+GB-KMV index with buffer size zero, and is implemented as such —
+columnar store, batched engine and all.
 
 Both appear as the non-buffered points of Figure 6.
 """
@@ -20,7 +26,8 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro._errors import ConfigurationError, EmptyDatasetError
-from repro.core.index import GBKMVIndex, SearchResult
+from repro.core.batched import KMVBatchEstimator
+from repro.core.index import GBKMVIndex, SearchResult, results_from_scores
 from repro.hashing import UnitHash
 
 
@@ -36,10 +43,12 @@ class KMVSearchIndex:
         self._hasher = hasher
         self._k = int(k_per_record)
         self._budget = float(budget)
-        self._values: list[np.ndarray] = []
+        # Per-record rows; the dense batched estimator is a derived cache
+        # rebuilt lazily after any insertion.
+        self._value_rows: list[np.ndarray] = []
         self._record_sizes: list[int] = []
-        self._value_postings: dict[float, list[int]] = {}
-        self._value_postings_arrays: dict[float, np.ndarray] | None = None
+        self._estimator: KMVBatchEstimator | None = None
+        self._stored_values = 0
 
     # ------------------------------------------------------------------ build
     @classmethod
@@ -79,11 +88,10 @@ class KMVSearchIndex:
         record_id = len(self._record_sizes)
         hashes = np.unique(self._hasher.hash_many(list(record)))
         kept = hashes[: self._k]
-        self._values.append(kept)
+        self._value_rows.append(kept)
         self._record_sizes.append(len(record))
-        for value in kept:
-            self._value_postings.setdefault(float(value), []).append(record_id)
-        self._value_postings_arrays = None
+        self._stored_values += int(kept.size)
+        self._estimator = None
         return record_id
 
     # ------------------------------------------------------------ introspection
@@ -102,7 +110,7 @@ class KMVSearchIndex:
 
     def space_in_values(self) -> float:
         """Actual space used, in signature-value units."""
-        return float(sum(arr.size for arr in self._values))
+        return float(self._stored_values)
 
     def space_fraction(self) -> float:
         """Space used as a fraction of the dataset size."""
@@ -110,12 +118,20 @@ class KMVSearchIndex:
         return self.space_in_values() / total if total else 0.0
 
     # ----------------------------------------------------------------- search
-    def _finalize(self) -> None:
-        if self._value_postings_arrays is None:
-            self._value_postings_arrays = {
-                value: np.asarray(ids, dtype=np.int64)
-                for value, ids in self._value_postings.items()
-            }
+    def _finalize(self) -> KMVBatchEstimator:
+        """Pack the value rows into the dense padded matrix of the estimator."""
+        if self._estimator is None:
+            self._estimator = KMVBatchEstimator.from_value_rows(
+                self._value_rows,
+                self._record_sizes,
+                self._k,
+            )
+        return self._estimator
+
+    def _query_values(self, query_elements: set) -> tuple[np.ndarray, int]:
+        """Kept query sketch values plus the query's distinct hash count."""
+        query_hashes = np.unique(self._hasher.hash_many(list(query_elements)))
+        return query_hashes[: self._k], int(query_hashes.size)
 
     def estimate_intersection(
         self, query_values: np.ndarray, query_exact: bool, record_id: int
@@ -126,20 +142,7 @@ class KMVSearchIndex:
         hash set (the query had at most ``k`` distinct elements); when both
         sides are exact the overlap is counted exactly instead of estimated.
         """
-        record_values = self._values[record_id]
-        record_exact = record_values.size >= self._record_sizes[record_id]
-        k = min(query_values.size, record_values.size)
-        if k == 0:
-            return 0.0
-        common = np.intersect1d(query_values, record_values, assume_unique=True)
-        if query_exact and record_exact:
-            return float(common.size)
-        if k < 2:
-            return float(common.size)
-        union_values = np.union1d(query_values, record_values)[:k]
-        u_k = float(union_values[-1])
-        k_cap = int(np.searchsorted(common, u_k, side="right"))
-        return (k_cap / k) * ((k - 1) / u_k)
+        return self._finalize().intersection_one(query_values, query_exact, record_id)
 
     def search(
         self,
@@ -154,34 +157,38 @@ class KMVSearchIndex:
         if not query_elements:
             raise ConfigurationError("query must contain at least one element")
         q = len(query_elements) if query_size is None else int(query_size)
+        if q <= 0:
+            raise ConfigurationError("query_size must be positive")
+        estimator = self._finalize()
+        query_values, query_hash_count = self._query_values(query_elements)
+        estimates = estimator.intersection_many(query_values, query_hash_count)
+        return results_from_scores(estimates, threshold, q)
+
+    def search_many(
+        self,
+        queries: Sequence[Iterable[object]],
+        threshold: float,
+        query_sizes: Sequence[int] | None = None,
+    ) -> list[list[SearchResult]]:
+        """Batched containment search: same results as looping :meth:`search`.
+
+        The dense estimator matrix is already a one-off cache, so the
+        batched entry point only validates the workload and reuses the
+        single-query path — no behavior can drift between the two.
+        """
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError("threshold must be in [0, 1]")
+        if query_sizes is not None and len(query_sizes) != len(queries):
+            raise ConfigurationError("query_sizes must be parallel to queries")
         self._finalize()
-
-        query_hashes = np.unique(self._hasher.hash_many(list(query_elements)))
-        query_values = query_hashes[: self._k]
-        query_exact = query_hashes.size <= self._k
-
-        candidate_ids: set[int] = set()
-        assert self._value_postings_arrays is not None
-        for value in query_values:
-            postings = self._value_postings_arrays.get(float(value))
-            if postings is not None:
-                candidate_ids.update(int(record_id) for record_id in postings)
-
-        theta = threshold * q
-        results: list[SearchResult] = []
-        for record_id in sorted(candidate_ids):
-            estimate = self.estimate_intersection(query_values, query_exact, record_id)
-            if estimate >= theta * (1.0 - 1e-12):
-                results.append(
-                    SearchResult(record_id=record_id, score=float(estimate / q))
-                )
-        if theta <= 0.0:
-            present = {result.record_id for result in results}
-            for record_id in range(self.num_records):
-                if record_id not in present:
-                    results.append(SearchResult(record_id=record_id, score=0.0))
-        results.sort(key=lambda result: (-result.score, result.record_id))
-        return results
+        return [
+            self.search(
+                query,
+                threshold,
+                query_size=None if query_sizes is None else query_sizes[position],
+            )
+            for position, query in enumerate(queries)
+        ]
 
 
 class GKMVSearchIndex:
@@ -244,3 +251,12 @@ class GKMVSearchIndex:
     ) -> list[SearchResult]:
         """Containment similarity search with the G-KMV estimator (Eq. 24–26)."""
         return self._inner.search(query, threshold, query_size=query_size)
+
+    def search_many(
+        self,
+        queries: Sequence[Iterable[object]],
+        threshold: float,
+        query_sizes: Sequence[int] | None = None,
+    ) -> list[list[SearchResult]]:
+        """Batched containment search through the inner GB-KMV engine."""
+        return self._inner.search_many(queries, threshold, query_sizes=query_sizes)

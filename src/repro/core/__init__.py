@@ -16,6 +16,13 @@ The central objects are:
     Algorithm 1 (construction) and Algorithm 2 (containment similarity
     search) over a whole dataset, including the cost-model-driven choice
     of buffer size.
+``ColumnarSketchStore``
+    Flat columnar storage of every record's sketch state (CSR residual
+    values, packed signature bitmaps, parallel size arrays) plus the
+    vectorised kernels the batched query engine is built on.
+``GKMVBatchEstimator`` / ``KMVBatchEstimator``
+    Whole-candidate-set versions of the union / intersection /
+    containment estimators, bitwise identical to the per-sketch methods.
 """
 
 from repro.core.kmv import KMVSketch
@@ -34,9 +41,28 @@ from repro.core.cost_model import (
     choose_buffer_size,
     residual_threshold,
 )
-from repro.core.index import GBKMVIndex, SearchResult
+from repro.core.store import ColumnarSketchStore
+from repro.core.batched import (
+    BatchEstimator,
+    GKMVBatchEstimator,
+    KMVBatchEstimator,
+    containment_from_intersections,
+    kmv_intersection_estimates,
+    residual_intersection_estimates,
+    residual_union_estimates,
+)
+from repro.core.index import GBKMVIndex, IndexStatistics, SearchResult
 
 __all__ = [
+    "BatchEstimator",
+    "ColumnarSketchStore",
+    "GKMVBatchEstimator",
+    "KMVBatchEstimator",
+    "containment_from_intersections",
+    "kmv_intersection_estimates",
+    "residual_intersection_estimates",
+    "residual_union_estimates",
+    "IndexStatistics",
     "KMVSketch",
     "GKMVSketch",
     "FrequentElementBuffer",

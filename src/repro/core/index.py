@@ -3,8 +3,17 @@
 This module implements Algorithm 1 (index construction) and Algorithm 2
 (containment similarity search) of the paper, together with the practical
 machinery a user needs: budget accounting, a cost-model-driven buffer
-size, an inverted index over sketch values so that queries only touch
-records sharing sketch content with the query, and dynamic insertion.
+size, and dynamic insertion.
+
+All per-record sketch state lives in a
+:class:`~repro.core.store.ColumnarSketchStore` — one concatenated
+float64 array of residual hash values with CSR offsets, a packed uint64
+signature matrix for the frequent-element buffers, and parallel size
+arrays — so a query is scored against *every* record with a handful of
+vectorised kernels instead of a per-record Python loop.  On top of the
+single-query :meth:`GBKMVIndex.search`, :meth:`GBKMVIndex.search_many`
+evaluates a whole workload at once through the store's value→record
+join index.
 
 Typical usage::
 
@@ -14,6 +23,8 @@ Typical usage::
     results = index.search(query, threshold=0.5)
     for hit in results:
         print(hit.record_id, hit.score)
+
+    all_results = index.search_many(queries, threshold=0.5)
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro._errors import ConfigurationError, EmptyDatasetError
+from repro.core.batched import residual_intersection_estimates
 from repro.core.buffer import (
     BITS_PER_SIGNATURE_UNIT,
     FrequentElementBuffer,
@@ -33,6 +45,7 @@ from repro.core.buffer import (
 from repro.core.cost_model import choose_buffer_size, residual_threshold
 from repro.core.gbkmv import GBKMVSketch
 from repro.core.gkmv import GKMVSketch
+from repro.core.store import ColumnarSketchStore
 from repro.hashing import UnitHash
 
 
@@ -65,8 +78,57 @@ class IndexStatistics:
     budget_in_values: float
 
 
+def results_from_scores(
+    scores: np.ndarray, threshold: float, query_size: int
+) -> list[SearchResult]:
+    """Select, normalise and sort the hits of one query.
+
+    The shared hit-selection policy of every searcher in the library
+    (GB-KMV and the KMV/G-KMV baselines): a zero effective threshold
+    keeps every record, otherwise hits need an intersection estimate of
+    at least ``threshold * query_size`` up to a relative tolerance, and
+    results are ordered by decreasing score with ties broken by record
+    id.
+    """
+    theta = threshold * query_size
+    if theta <= 0.0:
+        hit_ids = np.arange(scores.size)
+    else:
+        # Relative tolerance so exact integer estimates survive the float
+        # noise of ``threshold * q`` without admitting genuinely lower scores.
+        hit_ids = np.nonzero(scores >= theta * (1.0 - 1e-12))[0]
+    hit_scores = scores[hit_ids] / query_size
+    # Decreasing score, ties by increasing record id (lexsort's last key
+    # is the primary one).
+    order = np.lexsort((hit_ids, -hit_scores))
+    return [
+        SearchResult(record_id=record_id, score=score)
+        for record_id, score in zip(hit_ids[order].tolist(), hit_scores[order].tolist())
+    ]
+
+
+@dataclass(frozen=True)
+class _PreparedQuery:
+    """A query reduced to the raw arrays the scoring kernels consume."""
+
+    mask: int
+    values: np.ndarray
+    residual_size: int
+    query_size: int
+
+    @property
+    def max_value(self) -> float:
+        """Largest kept hash value (``0.0`` when none were kept)."""
+        return float(self.values[-1]) if self.values.size else 0.0
+
+    @property
+    def exact(self) -> bool:
+        """Whether every residual hash value survived the threshold."""
+        return bool(self.values.size >= self.residual_size)
+
+
 class GBKMVIndex:
-    """GB-KMV sketches plus an inverted index for containment search.
+    """GB-KMV sketches in columnar storage plus a batched query engine.
 
     Build with :meth:`build` (which chooses the buffer size via the cost
     model unless one is supplied) rather than calling ``__init__``
@@ -84,26 +146,7 @@ class GBKMVIndex:
         self._threshold = float(threshold)
         self._hasher = hasher
         self._budget = float(budget)
-
-        # Per-record storage (parallel lists / arrays, index = record id).
-        self._buffer_masks: list[int] = []
-        self._residual_values: list[np.ndarray] = []
-        self._residual_record_sizes: list[int] = []
-        self._record_sizes: list[int] = []
-
-        # Inverted indexes: sketch hash value -> record ids, and frequent
-        # element bit position -> record ids.  Kept as growable lists and
-        # converted to arrays lazily at query time.
-        self._value_postings: dict[float, list[int]] = {}
-        self._bit_postings: list[list[int]] = [[] for _ in range(vocabulary.size)]
-        self._postings_finalized = False
-        self._value_postings_arrays: dict[float, np.ndarray] = {}
-        self._bit_postings_arrays: list[np.ndarray] = []
-
-        # Cached per-record scalars for the vectorised search path.
-        self._residual_sizes_arr: np.ndarray | None = None
-        self._residual_max_arr: np.ndarray | None = None
-        self._residual_exact_arr: np.ndarray | None = None
+        self._store = ColumnarSketchStore(signature_bits=vocabulary.size)
 
     # ------------------------------------------------------------------ build
     @classmethod
@@ -197,38 +240,31 @@ class GBKMVIndex:
             index._add_record(record)
         return index
 
-    def _add_record(self, record: set) -> int:
-        """Insert one record's sketch; returns its record id."""
-        record_id = len(self._record_sizes)
+    def _sketch_parts(self, record: set) -> tuple[int, np.ndarray, int]:
+        """Split a record into (buffer mask, kept residual values, residual size)."""
         buffer, residual_elements = self._vocabulary.split_record(record)
         if residual_elements:
             hashes = np.unique(self._hasher.hash_many(residual_elements))
             kept = hashes[hashes <= self._threshold]
         else:
             kept = np.empty(0, dtype=np.float64)
+        return buffer.mask, kept, len(residual_elements)
 
-        self._buffer_masks.append(buffer.mask)
-        self._residual_values.append(kept)
-        self._residual_record_sizes.append(len(residual_elements))
-        self._record_sizes.append(len(record))
-
-        for value in kept:
-            self._value_postings.setdefault(float(value), []).append(record_id)
-        mask = buffer.mask
-        while mask:
-            low_bit = mask & -mask
-            position = low_bit.bit_length() - 1
-            self._bit_postings[position].append(record_id)
-            mask ^= low_bit
-        self._postings_finalized = False
-        self._residual_sizes_arr = None
-        return record_id
+    def _add_record(self, record: set) -> int:
+        """Insert one record's sketch row; returns its record id."""
+        mask, kept, residual_size = self._sketch_parts(record)
+        return self._store.append(
+            values=kept,
+            mask=mask,
+            residual_record_size=residual_size,
+            record_size=len(record),
+        )
 
     # ------------------------------------------------------------ introspection
     @property
     def num_records(self) -> int:
         """Number of records indexed."""
-        return len(self._record_sizes)
+        return self._store.num_records
 
     @property
     def vocabulary(self) -> FrequentElementVocabulary:
@@ -255,26 +291,30 @@ class GBKMVIndex:
         """The space budget ``b`` in signature-value units."""
         return self._budget
 
+    @property
+    def store(self) -> ColumnarSketchStore:
+        """The columnar sketch store backing this index."""
+        return self._store
+
     def __len__(self) -> int:
         return self.num_records
 
     def record_size(self, record_id: int) -> int:
         """Distinct-element count of an indexed record."""
-        return self._record_sizes[record_id]
+        return self._store.record_size(record_id)
 
     def record_sizes(self) -> np.ndarray:
         """Distinct-element counts of every indexed record."""
-        return np.asarray(self._record_sizes, dtype=np.int64)
+        return self._store.record_sizes.copy()
 
     def space_in_values(self) -> float:
         """Actual space used, in signature-value units (values + r/32 per record)."""
-        stored_values = sum(arr.size for arr in self._residual_values)
         buffer_cost = self.num_records * self._vocabulary.size / BITS_PER_SIGNATURE_UNIT
-        return stored_values + buffer_cost
+        return self._store.total_values + buffer_cost
 
     def space_fraction(self) -> float:
         """Space used as a fraction of the dataset size."""
-        total_elements = sum(self._record_sizes)
+        total_elements = int(self._store.record_sizes.sum())
         if total_elements == 0:
             return 0.0
         return self.space_in_values() / total_elements
@@ -283,7 +323,7 @@ class GBKMVIndex:
         """Summary statistics of the built index."""
         return IndexStatistics(
             num_records=self.num_records,
-            total_elements=int(sum(self._record_sizes)),
+            total_elements=int(self._store.record_sizes.sum()),
             buffer_size=self.buffer_size,
             threshold=self._threshold,
             space_in_values=self.space_in_values(),
@@ -293,17 +333,19 @@ class GBKMVIndex:
 
     def sketch(self, record_id: int) -> GBKMVSketch:
         """Materialise the GB-KMV sketch of an indexed record."""
-        buffer = FrequentElementBuffer(self._vocabulary, self._buffer_masks[record_id])
+        buffer = FrequentElementBuffer(
+            self._vocabulary, self._store.mask_int(record_id)
+        )
         residual = GKMVSketch(
             threshold=self._threshold,
-            values=self._residual_values[record_id],
-            record_size=self._residual_record_sizes[record_id],
+            values=self._store.row_values(record_id),
+            record_size=self._store.residual_record_size(record_id),
             hasher=self._hasher,
         )
         return GBKMVSketch(
             buffer=buffer,
             residual=residual,
-            record_size=self._record_sizes[record_id],
+            record_size=self._store.record_size(record_id),
         )
 
     def sketches(self) -> Iterator[GBKMVSketch]:
@@ -315,10 +357,12 @@ class GBKMVIndex:
     def insert(self, record: Iterable[object]) -> int:
         """Insert a new record under the current vocabulary and threshold.
 
-        Returns the new record id.  The global threshold is *not*
-        recomputed automatically; call :meth:`refit_threshold` after a
-        batch of insertions to shrink the sketches back into the budget
-        (the dynamic-data procedure described at the end of Section IV-B).
+        Returns the new record id.  Appending invalidates the store's
+        query-time caches, so a search following the insert sees the new
+        record immediately.  The global threshold is *not* recomputed
+        automatically; call :meth:`refit_threshold` after a batch of
+        insertions to shrink the sketches back into the budget (the
+        dynamic-data procedure described at the end of Section IV-B).
         """
         materialized = set(record)
         if not materialized:
@@ -334,11 +378,7 @@ class GBKMVIndex:
         """
         buffer_cost = self.num_records * self._vocabulary.size / BITS_PER_SIGNATURE_UNIT
         residual_budget = max(self._budget - buffer_cost, 0.0)
-        all_values = (
-            np.concatenate(self._residual_values)
-            if any(arr.size for arr in self._residual_values)
-            else np.empty(0, dtype=np.float64)
-        )
+        all_values = self._store.values
         if all_values.size == 0:
             return self._threshold
         if all_values.size <= residual_budget:
@@ -356,41 +396,10 @@ class GBKMVIndex:
         if new_threshold >= self._threshold:
             return self._threshold
         self._threshold = new_threshold
-        self._residual_values = [
-            arr[arr <= new_threshold] for arr in self._residual_values
-        ]
-        # Rebuild the value postings from scratch (bit postings are unchanged).
-        self._value_postings = {}
-        for record_id, arr in enumerate(self._residual_values):
-            for value in arr:
-                self._value_postings.setdefault(float(value), []).append(record_id)
-        self._postings_finalized = False
-        self._residual_sizes_arr = None
+        self._store.truncate_values(new_threshold)
         return self._threshold
 
     # ----------------------------------------------------------------- search
-    def _finalize(self) -> None:
-        """Convert posting lists and per-record scalars to numpy arrays."""
-        if self._postings_finalized and self._residual_sizes_arr is not None:
-            return
-        self._value_postings_arrays = {
-            value: np.asarray(ids, dtype=np.int64)
-            for value, ids in self._value_postings.items()
-        }
-        self._bit_postings_arrays = [
-            np.asarray(ids, dtype=np.int64) for ids in self._bit_postings
-        ]
-        sizes = np.array([arr.size for arr in self._residual_values], dtype=np.int64)
-        maxima = np.array(
-            [float(arr[-1]) if arr.size else 0.0 for arr in self._residual_values],
-            dtype=np.float64,
-        )
-        exact = sizes >= np.asarray(self._residual_record_sizes, dtype=np.int64)
-        self._residual_sizes_arr = sizes
-        self._residual_max_arr = maxima
-        self._residual_exact_arr = exact
-        self._postings_finalized = True
-
     def query_sketch(self, query: Iterable[object]) -> GBKMVSketch:
         """Build the GB-KMV sketch of a query under the index's parameters."""
         return GBKMVSketch.from_record(
@@ -404,6 +413,43 @@ class GBKMVIndex:
         """Estimate ``C(Q, X_record_id)`` for a single record."""
         query_sketch = self.query_sketch(query)
         return query_sketch.containment_estimate(self.sketch(record_id))
+
+    def _prepare_query(
+        self, query: Iterable[object], query_size: int | None
+    ) -> _PreparedQuery:
+        """Reduce a query to the arrays the scoring kernels consume."""
+        query_elements = set(query)
+        if not query_elements:
+            raise ConfigurationError("query must contain at least one element")
+        q = len(query_elements) if query_size is None else int(query_size)
+        if q <= 0:
+            raise ConfigurationError("query_size must be positive")
+        mask, kept, residual_size = self._sketch_parts(query_elements)
+        return _PreparedQuery(
+            mask=mask, values=kept, residual_size=residual_size, query_size=q
+        )
+
+    def _score_prepared(self, prepared: _PreparedQuery) -> np.ndarray:
+        """Estimated intersection size of one prepared query with every record.
+
+        One pass over the store's value→record join index for the
+        residual counts (touching only occurrences shared with the
+        query), one popcount pass for the buffer overlap, then the
+        batched Equation-25 estimator — no per-record Python work.
+        """
+        store = self._store
+        counts = store.intersection_counts_join(prepared.values)
+        buffer_overlap = store.signature_overlap(prepared.mask).astype(np.float64)
+        residual_estimate = residual_intersection_estimates(
+            counts,
+            store.row_sizes,
+            store.row_max,
+            store.row_exact,
+            prepared.values.size,
+            prepared.max_value,
+            prepared.exact,
+        )
+        return buffer_overlap + residual_estimate
 
     def search(
         self,
@@ -431,28 +477,74 @@ class GBKMVIndex:
         """
         if not 0.0 <= threshold <= 1.0:
             raise ConfigurationError("threshold must be in [0, 1]")
-        query_elements = set(query)
-        if not query_elements:
-            raise ConfigurationError("query must contain at least one element")
-        q = len(query_elements) if query_size is None else int(query_size)
-        if q <= 0:
-            raise ConfigurationError("query_size must be positive")
+        prepared = self._prepare_query(query, query_size)
+        scores = self._score_prepared(prepared)
+        return results_from_scores(scores, threshold, prepared.query_size)
 
-        self._finalize()
-        scores = self._score_all(query_elements)
-        theta = threshold * q
-        if theta <= 0.0:
-            hit_ids = np.arange(self.num_records)
-        else:
-            # Relative tolerance so exact integer estimates survive the float
-            # noise of ``threshold * q`` without admitting genuinely lower scores.
-            hit_ids = np.nonzero(scores >= theta * (1.0 - 1e-12))[0]
-        results = [
-            SearchResult(record_id=int(record_id), score=float(scores[record_id] / q))
-            for record_id in hit_ids
+    def search_many(
+        self,
+        queries: Sequence[Iterable[object]],
+        threshold: float,
+        query_sizes: Sequence[int] | None = None,
+    ) -> list[list[SearchResult]]:
+        """Batched Algorithm 2: answer a whole workload in one pass.
+
+        Produces exactly the same hits, scores and ordering as calling
+        :meth:`search` once per query, but prepares the whole workload
+        up front and scores it in one engine pass: residual overlaps go
+        through the store's value→record join index (touching only
+        occurrences shared with each query) and the Equation-25
+        estimator runs once over the ``(queries, records)`` matrix.
+
+        Parameters
+        ----------
+        queries:
+            The query records.
+        threshold:
+            The containment similarity threshold ``t*`` in ``[0, 1]``,
+            shared by the whole workload.
+        query_sizes:
+            Optional exact query sizes, parallel to ``queries``.
+
+        Returns
+        -------
+        list[list[SearchResult]]
+            One result list per query, each sorted as in :meth:`search`.
+        """
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError("threshold must be in [0, 1]")
+        if query_sizes is not None and len(query_sizes) != len(queries):
+            raise ConfigurationError("query_sizes must be parallel to queries")
+        prepared = [
+            self._prepare_query(
+                query, None if query_sizes is None else query_sizes[position]
+            )
+            for position, query in enumerate(queries)
         ]
-        results.sort(key=lambda result: (-result.score, result.record_id))
-        return results
+        if not prepared:
+            return []
+
+        store = self._store
+        store.finalize()
+        counts = store.intersection_counts_many([p.values for p in prepared])
+        overlaps = store.signature_overlap_many([p.mask for p in prepared])
+        num_values = np.array([[p.values.size] for p in prepared], dtype=np.int64)
+        max_values = np.array([[p.max_value] for p in prepared], dtype=np.float64)
+        exact = np.array([[p.exact] for p in prepared], dtype=bool)
+        residual_estimates = residual_intersection_estimates(
+            counts,
+            store.row_sizes,
+            store.row_max,
+            store.row_exact,
+            num_values,
+            max_values,
+            exact,
+        )
+        scores = overlaps.astype(np.float64) + residual_estimates
+        return [
+            results_from_scores(scores[row], threshold, p.query_size)
+            for row, p in enumerate(prepared)
+        ]
 
     def top_k(self, query: Iterable[object], k: int, query_size: int | None = None) -> list[SearchResult]:
         """Return the ``k`` records with the highest estimated containment.
@@ -462,66 +554,10 @@ class GBKMVIndex:
         """
         if k <= 0:
             raise ConfigurationError("k must be positive")
-        query_elements = set(query)
-        if not query_elements:
-            raise ConfigurationError("query must contain at least one element")
-        q = len(query_elements) if query_size is None else int(query_size)
-        self._finalize()
-        scores = self._score_all(query_elements) / q
+        prepared = self._prepare_query(query, query_size)
+        scores = self._score_prepared(prepared) / prepared.query_size
         order = np.argsort(-scores, kind="stable")[:k]
         return [
             SearchResult(record_id=int(record_id), score=float(scores[record_id]))
             for record_id in order
         ]
-
-    def _score_all(self, query_elements: set) -> np.ndarray:
-        """Estimated intersection size of the query with every record.
-
-        Records sharing no sketch content with the query score 0, so the
-        inverted index only needs to touch posting lists of the query's
-        own sketch values and buffer bits.
-        """
-        num_records = self.num_records
-        query_sketch = self.query_sketch(query_elements)
-        q_values = query_sketch.residual.values
-        q_size = q_values.size
-        q_max = float(q_values[-1]) if q_size else 0.0
-        q_exact = query_sketch.residual.is_exact
-        q_mask = query_sketch.buffer.mask
-
-        buffer_overlap = np.zeros(num_records, dtype=np.float64)
-        mask = q_mask
-        while mask:
-            low_bit = mask & -mask
-            position = low_bit.bit_length() - 1
-            postings = self._bit_postings_arrays[position]
-            if postings.size:
-                np.add.at(buffer_overlap, postings, 1.0)
-            mask ^= low_bit
-
-        k_cap = np.zeros(num_records, dtype=np.float64)
-        for value in q_values:
-            postings = self._value_postings_arrays.get(float(value))
-            if postings is not None and postings.size:
-                np.add.at(k_cap, postings, 1.0)
-
-        sizes = self._residual_sizes_arr.astype(np.float64)
-        maxima = self._residual_max_arr
-        exact = self._residual_exact_arr
-
-        # k of Equation 24: |L_Q ∪ L_X| = |L_Q| + |L_X| − K∩; U(k) is the
-        # largest hash value in the union because all values are <= τ.
-        k_union = q_size + sizes - k_cap
-        u_k = np.maximum(maxima, q_max)
-
-        residual_estimate = np.zeros(num_records, dtype=np.float64)
-        both_exact = exact & q_exact
-        residual_estimate[both_exact] = k_cap[both_exact]
-
-        estimable = (~both_exact) & (k_union >= 2) & (u_k > 0.0)
-        if np.any(estimable):
-            ku = k_union[estimable]
-            residual_estimate[estimable] = (
-                (k_cap[estimable] / ku) * ((ku - 1.0) / u_k[estimable])
-            )
-        return buffer_overlap + residual_estimate

@@ -1,0 +1,396 @@
+"""Columnar storage of per-record GB-KMV sketch state.
+
+Historically :class:`~repro.core.index.GBKMVIndex` kept one Python object
+per record (``list[np.ndarray]`` of residual hash values, ``list[int]``
+of buffer masks and sizes).  Scoring a query then meant walking those
+lists record by record, so query time was dominated by interpreter
+overhead rather than by the estimator arithmetic the paper analyses.
+
+:class:`ColumnarSketchStore` consolidates the same state into a handful
+of flat NumPy arrays:
+
+``values`` / ``offsets``
+    All residual hash values of all records concatenated into a single
+    sorted-per-row float64 array with CSR-style row offsets
+    (``values[offsets[i]:offsets[i + 1]]`` is record ``i``).
+``signatures``
+    The frequent-element buffer bitmaps, packed into a ``uint64`` matrix
+    of shape ``(num_records, words)`` with 64 bits per word.
+``record_sizes`` / ``residual_record_sizes``
+    Parallel int64 arrays of per-record distinct-element counts.
+
+On top of the columns the store offers the vectorised kernels the
+batched query engine is built from: whole-dataset intersection counts
+against a sorted query array (a vectorised merge over the CSR arrays),
+popcount-based signature overlaps, and multi-query variants built on a
+value→record join index that touches only the occurrences a query
+actually shares with the dataset.
+
+Rows are appended into a small staging area and *compacted* into the
+flat columns lazily, so dynamic insertion stays cheap; every mutation
+invalidates the derived query-time caches, which are rebuilt by
+:meth:`finalize` on the next search.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._errors import ConfigurationError
+
+#: Bits per packed signature word.
+BITS_PER_WORD = 64
+
+_WORD_MASK = (1 << BITS_PER_WORD) - 1
+
+
+def mask_to_words(mask: int, num_words: int) -> np.ndarray:
+    """Pack a Python-integer bitmap into little-endian uint64 words."""
+    if mask < 0:
+        raise ConfigurationError("bitmap mask must be non-negative")
+    if mask >> (num_words * BITS_PER_WORD):
+        raise ConfigurationError("bitmap mask has bits beyond the signature width")
+    words = np.zeros(num_words, dtype=np.uint64)
+    for word in range(num_words):
+        words[word] = (mask >> (word * BITS_PER_WORD)) & _WORD_MASK
+    return words
+
+
+def words_to_mask(words: np.ndarray) -> int:
+    """Inverse of :func:`mask_to_words`."""
+    mask = 0
+    for word, value in enumerate(np.asarray(words, dtype=np.uint64)):
+        mask |= int(value) << (word * BITS_PER_WORD)
+    return mask
+
+
+class ColumnarSketchStore:
+    """Flat columnar arrays holding every record's GB-KMV sketch state.
+
+    Parameters
+    ----------
+    signature_bits:
+        Width ``r`` of the frequent-element bitmap.  ``0`` disables the
+        signature columns (the G-KMV special case).
+    """
+
+    def __init__(self, signature_bits: int) -> None:
+        if signature_bits < 0:
+            raise ConfigurationError("signature_bits must be non-negative")
+        self._signature_bits = int(signature_bits)
+        self._num_words = -(-self._signature_bits // BITS_PER_WORD) if signature_bits else 0
+
+        # Compacted columns (row-major CSR + parallel arrays).
+        self._values = np.empty(0, dtype=np.float64)
+        self._offsets = np.zeros(1, dtype=np.int64)
+        self._signatures = np.zeros((0, self._num_words), dtype=np.uint64)
+        self._record_sizes = np.empty(0, dtype=np.int64)
+        self._residual_record_sizes = np.empty(0, dtype=np.int64)
+
+        # Staged rows not yet merged into the columns.
+        self._pending_values: list[np.ndarray] = []
+        self._pending_masks: list[int] = []
+        self._pending_record_sizes: list[int] = []
+        self._pending_residual_sizes: list[int] = []
+
+        # Derived query-time caches (built by finalize, dropped on mutation).
+        self._finalized = False
+        self._row_max: np.ndarray | None = None
+        self._row_exact: np.ndarray | None = None
+        self._sorted_values: np.ndarray | None = None
+        self._sorted_record_ids: np.ndarray | None = None
+
+    # ------------------------------------------------------------- mutation
+    def append(
+        self,
+        values: np.ndarray,
+        mask: int,
+        residual_record_size: int,
+        record_size: int,
+    ) -> int:
+        """Stage one record's sketch row; returns its record id.
+
+        ``values`` must be sorted ascending and distinct (the natural
+        output of ``np.unique`` over kept hash values).
+        """
+        record_id = self.num_records
+        self._pending_values.append(np.asarray(values, dtype=np.float64))
+        self._pending_masks.append(int(mask))
+        self._pending_residual_sizes.append(int(residual_record_size))
+        self._pending_record_sizes.append(int(record_size))
+        self._invalidate()
+        return record_id
+
+    def _invalidate(self) -> None:
+        """Drop every derived cache; the next finalize rebuilds them.
+
+        Rebuilding the value→record join index is O(T log T) over all
+        stored occurrences, so a workload alternating single inserts
+        with searches pays the full re-sort each time; batch the inserts
+        (or merge staged rows incrementally, a future optimisation) if
+        that pattern matters.
+        """
+        self._finalized = False
+        self._row_max = None
+        self._row_exact = None
+        self._sorted_values = None
+        self._sorted_record_ids = None
+
+    def _compact(self) -> None:
+        """Merge staged rows into the flat columns."""
+        if not self._pending_values:
+            return
+        pending_values = self._pending_values
+        lengths = np.fromiter(
+            (arr.size for arr in pending_values), dtype=np.int64, count=len(pending_values)
+        )
+        self._values = np.concatenate([self._values, *pending_values])
+        new_offsets = self._offsets[-1] + np.cumsum(lengths)
+        self._offsets = np.concatenate([self._offsets, new_offsets])
+        if self._num_words:
+            extra = np.zeros((len(pending_values), self._num_words), dtype=np.uint64)
+            for row, mask in enumerate(self._pending_masks):
+                extra[row] = mask_to_words(mask, self._num_words)
+            self._signatures = np.vstack([self._signatures, extra])
+        else:
+            self._signatures = np.zeros(
+                (self._signatures.shape[0] + len(pending_values), 0), dtype=np.uint64
+            )
+        self._record_sizes = np.concatenate(
+            [self._record_sizes, np.asarray(self._pending_record_sizes, dtype=np.int64)]
+        )
+        self._residual_record_sizes = np.concatenate(
+            [
+                self._residual_record_sizes,
+                np.asarray(self._pending_residual_sizes, dtype=np.int64),
+            ]
+        )
+        self._pending_values = []
+        self._pending_masks = []
+        self._pending_record_sizes = []
+        self._pending_residual_sizes = []
+
+    def finalize(self) -> None:
+        """Compact staged rows and (re)build the derived query-time caches."""
+        if self._finalized:
+            return
+        self._compact()
+        sizes = self.row_sizes
+        last = self._offsets[1:] - 1
+        maxima = np.zeros(self.num_records, dtype=np.float64)
+        nonempty = sizes > 0
+        maxima[nonempty] = self._values[last[nonempty]]
+        self._row_max = maxima
+        self._row_exact = sizes >= self._residual_record_sizes
+        # Value → record join index: every stored occurrence sorted by value,
+        # so a query's values can be matched with one searchsorted each.
+        order = np.argsort(self._values, kind="stable")
+        self._sorted_values = self._values[order]
+        record_ids = np.repeat(
+            np.arange(self.num_records, dtype=np.int64), np.diff(self._offsets)
+        )
+        self._sorted_record_ids = record_ids[order]
+        self._finalized = True
+
+    def truncate_values(self, threshold: float) -> None:
+        """Drop every stored value above ``threshold`` (per-row prefixes survive)."""
+        self._compact()
+        keep = self._values <= threshold
+        kept_cumulative = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(keep, dtype=np.int64)]
+        )
+        self._values = self._values[keep]
+        self._offsets = kept_cumulative[self._offsets]
+        self._invalidate()
+
+    # -------------------------------------------------------- introspection
+    @property
+    def signature_bits(self) -> int:
+        """Bitmap width ``r`` shared by every signature row."""
+        return self._signature_bits
+
+    @property
+    def num_records(self) -> int:
+        """Number of rows, staged rows included."""
+        return int(self._record_sizes.size) + len(self._pending_values)
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    @property
+    def total_values(self) -> int:
+        """Total number of stored residual hash values across all rows."""
+        staged = sum(arr.size for arr in self._pending_values)
+        return int(self._values.size) + int(staged)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The concatenated residual values (compacts staged rows first)."""
+        self._compact()
+        return self._values
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """CSR row offsets into :attr:`values`."""
+        self._compact()
+        return self._offsets
+
+    @property
+    def signatures(self) -> np.ndarray:
+        """Packed uint64 signature matrix of shape ``(num_records, words)``."""
+        self._compact()
+        return self._signatures
+
+    @property
+    def record_sizes(self) -> np.ndarray:
+        """Distinct-element count of every record."""
+        self._compact()
+        return self._record_sizes
+
+    @property
+    def residual_record_sizes(self) -> np.ndarray:
+        """Distinct residual (non-frequent) element count of every record."""
+        self._compact()
+        return self._residual_record_sizes
+
+    @property
+    def row_sizes(self) -> np.ndarray:
+        """Number of stored values per row."""
+        self._compact()
+        return np.diff(self._offsets)
+
+    @property
+    def row_max(self) -> np.ndarray:
+        """Largest stored value per row (``0.0`` for empty rows)."""
+        self.finalize()
+        assert self._row_max is not None
+        return self._row_max
+
+    @property
+    def row_exact(self) -> np.ndarray:
+        """Whether each row retains every hash value of its residual."""
+        self.finalize()
+        assert self._row_exact is not None
+        return self._row_exact
+
+    def row_values(self, record_id: int) -> np.ndarray:
+        """One record's stored values (a view into the CSR array)."""
+        compacted = int(self._record_sizes.size)
+        if record_id < compacted:
+            start, stop = self._offsets[record_id], self._offsets[record_id + 1]
+            return self._values[start:stop]
+        return self._pending_values[record_id - compacted]
+
+    def mask_int(self, record_id: int) -> int:
+        """One record's signature bitmap as a Python integer."""
+        compacted = int(self._record_sizes.size)
+        if record_id < compacted:
+            return words_to_mask(self._signatures[record_id])
+        return self._pending_masks[record_id - compacted]
+
+    def record_size(self, record_id: int) -> int:
+        """Distinct-element count of one record."""
+        compacted = int(self._record_sizes.size)
+        if record_id < compacted:
+            return int(self._record_sizes[record_id])
+        return self._pending_record_sizes[record_id - compacted]
+
+    def residual_record_size(self, record_id: int) -> int:
+        """Distinct residual element count of one record."""
+        compacted = int(self._record_sizes.size)
+        if record_id < compacted:
+            return int(self._residual_record_sizes[record_id])
+        return self._pending_residual_sizes[record_id - compacted]
+
+    # -------------------------------------------------------------- kernels
+    def intersection_counts(self, query_values: np.ndarray) -> np.ndarray:
+        """``|L_Q ∩ L_X|`` for *every* record at once (vectorised CSR merge).
+
+        ``query_values`` must be sorted ascending and distinct.  The merge
+        is one ``searchsorted`` of all stored values against the query
+        followed by a per-row segment sum — no per-record Python work.
+        """
+        self.finalize()
+        query_values = np.asarray(query_values, dtype=np.float64)
+        if query_values.size == 0 or self._values.size == 0:
+            return np.zeros(self.num_records, dtype=np.int64)
+        positions = np.searchsorted(query_values, self._values)
+        member = np.zeros(self._values.size, dtype=np.int64)
+        in_range = positions < query_values.size
+        member[in_range] = (
+            query_values[positions[in_range]] == self._values[in_range]
+        )
+        cumulative = np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(member)])
+        return cumulative[self._offsets[1:]] - cumulative[self._offsets[:-1]]
+
+    def intersection_counts_join(self, query_values: np.ndarray) -> np.ndarray:
+        """Same counts as :meth:`intersection_counts` via the value join index.
+
+        Cost is ``O(|Q| log T + matches)`` instead of ``O(T log |Q|)``
+        (``T`` = stored occurrences), which is what makes scoring a whole
+        workload cheap: only occurrences actually shared with the query
+        are touched.
+        """
+        self.finalize()
+        assert self._sorted_values is not None and self._sorted_record_ids is not None
+        counts = np.zeros(self.num_records, dtype=np.int64)
+        query_values = np.asarray(query_values, dtype=np.float64)
+        if query_values.size == 0 or self._sorted_values.size == 0:
+            return counts
+        starts = np.searchsorted(self._sorted_values, query_values, side="left")
+        stops = np.searchsorted(self._sorted_values, query_values, side="right")
+        matched = _gather_ranges(starts, stops)
+        if matched.size:
+            counts += np.bincount(
+                self._sorted_record_ids[matched], minlength=self.num_records
+            )
+        return counts
+
+    def signature_overlap(self, mask: int) -> np.ndarray:
+        """``|H_Q ∩ H_X|`` for every record (popcount of a bitwise AND)."""
+        self.finalize()
+        if self._num_words == 0 or mask == 0:
+            return np.zeros(self.num_records, dtype=np.int64)
+        query_words = mask_to_words(mask, self._num_words)
+        overlap = np.bitwise_count(self._signatures & query_words[np.newaxis, :])
+        return overlap.sum(axis=1, dtype=np.int64)
+
+    def signature_overlap_many(self, masks: Sequence[int]) -> np.ndarray:
+        """``|H_Q ∩ H_X|`` for a whole workload at once, shape ``(B, n)``.
+
+        One popcount pass per query over the packed signature matrix —
+        measurably faster than an unpacked bit-matrix product at
+        realistic workload sizes, and without materialising a 32×-larger
+        per-bit expansion of the signatures.
+        """
+        self.finalize()
+        num_queries = len(masks)
+        overlaps = np.zeros((num_queries, self.num_records), dtype=np.int64)
+        for row, mask in enumerate(masks):
+            overlaps[row] = self.signature_overlap(mask)
+        return overlaps
+
+    def intersection_counts_many(
+        self, queries_values: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """``|L_Q ∩ L_X|`` for every (query, record) pair, shape ``(B, n)``."""
+        self.finalize()
+        counts = np.zeros((len(queries_values), self.num_records), dtype=np.int64)
+        for row, query_values in enumerate(queries_values):
+            counts[row] = self.intersection_counts_join(query_values)
+        return counts
+
+
+def _gather_ranges(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[i], stops[i])`` for all i, vectorised."""
+    lengths = stops - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    cumulative = np.cumsum(lengths)
+    positions = np.arange(total, dtype=np.int64)
+    owner = np.searchsorted(cumulative, positions, side="right")
+    within = positions - (cumulative[owner] - lengths[owner])
+    return starts[owner] + within

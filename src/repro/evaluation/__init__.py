@@ -14,7 +14,9 @@ from repro.evaluation.metrics import (
 from repro.evaluation.ground_truth import exact_result_sets
 from repro.evaluation.harness import (
     AccuracyReport,
+    BatchSearcher,
     MethodEvaluation,
+    Searcher,
     evaluate_search_method,
     time_construction,
 )
@@ -26,6 +28,8 @@ __all__ = [
     "f_score",
     "exact_result_sets",
     "AccuracyReport",
+    "BatchSearcher",
+    "Searcher",
     "MethodEvaluation",
     "evaluate_search_method",
     "time_construction",

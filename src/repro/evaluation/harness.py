@@ -35,6 +35,19 @@ class Searcher(Protocol):
         ...
 
 
+@runtime_checkable
+class BatchSearcher(Protocol):
+    """Searchers that also answer a whole workload in one batched call."""
+
+    def search(self, query, threshold, query_size=None):  # pragma: no cover - protocol
+        """Return hits with ``record_id`` attributes (or plain record ids)."""
+        ...
+
+    def search_many(self, queries, threshold, query_sizes=None):  # pragma: no cover - protocol
+        """Return one hit list per query, identical to looping ``search``."""
+        ...
+
+
 @dataclass(frozen=True)
 class AccuracyReport:
     """Averaged accuracy of one method over one workload."""
@@ -114,16 +127,26 @@ def evaluate_search_method(
     ground_truth: Sequence[Iterable[int]],
     threshold: float,
     construction_seconds: float = 0.0,
+    use_batched: bool = True,
 ) -> MethodEvaluation:
-    """Run every query through a searcher and aggregate accuracy and timing."""
+    """Run every query through a searcher and aggregate accuracy and timing.
+
+    Searchers exposing the :class:`BatchSearcher` protocol are driven
+    through ``search_many`` (one engine call for the whole workload)
+    unless ``use_batched`` is false; everything else falls back to the
+    per-query loop.  The two paths return identical hits, so accuracy
+    numbers are unaffected — only the measured query time changes.
+    """
     if len(queries) != len(ground_truth):
         raise ConfigurationError("queries and ground_truth must have the same length")
-    answers: list[set[int]] = []
+    batched = use_batched and isinstance(searcher, BatchSearcher)
     start = time.perf_counter()
-    for query in queries:
-        hits = searcher.search(query, threshold)
-        answers.append(_result_ids(hits))
+    if batched:
+        all_hits = searcher.search_many(queries, threshold)
+    else:
+        all_hits = [searcher.search(query, threshold) for query in queries]
     elapsed = time.perf_counter() - start
+    answers = [_result_ids(hits) for hits in all_hits]
     accuracy = measure_accuracy(answers, ground_truth)
 
     space_in_values = float(getattr(searcher, "space_in_values", lambda: 0.0)())

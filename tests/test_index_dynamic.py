@@ -32,6 +32,29 @@ class TestInsert:
         index.insert(["x1", "x2", "x3"])
         assert index.space_in_values() >= before
 
+    def test_insert_search_insert_search(self, tiny_records):
+        """Regression: inserting after a search must invalidate the finalized
+        query-time caches so the next search sees the new record."""
+        index = GBKMVIndex.build(tiny_records, space_fraction=1.0, buffer_size=2)
+        first_id = index.insert(["z1", "z2", "z3", "z4"])
+        first_hits = {hit.record_id for hit in index.search(["z1", "z2", "z3", "z4"], 0.9)}
+        assert first_id in first_hits
+        # A second insert lands after the store finalized for the first search.
+        second_id = index.insert(["w1", "w2", "w3", "w4"])
+        second_hits = {hit.record_id for hit in index.search(["w1", "w2", "w3", "w4"], 0.9)}
+        assert second_id in second_hits
+        # The earlier record is still scored correctly too.
+        again = {hit.record_id for hit in index.search(["z1", "z2", "z3", "z4"], 0.9)}
+        assert first_id in again
+        assert index.num_records == len(tiny_records) + 2
+
+    def test_insert_after_search_visible_to_search_many(self, tiny_records):
+        index = GBKMVIndex.build(tiny_records, space_fraction=1.0, buffer_size=2)
+        index.search(tiny_records[0], 0.5)
+        new_id = index.insert(["y1", "y2", "y3", "y4", "y5"])
+        batched = index.search_many([["y1", "y2", "y3", "y4", "y5"]], 0.9)
+        assert new_id in {hit.record_id for hit in batched[0]}
+
 
 class TestRefitThreshold:
     def test_refit_shrinks_when_over_budget(self, zipf_records):

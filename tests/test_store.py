@@ -1,0 +1,168 @@
+"""Tests for the columnar sketch store and its vectorised kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.core.store import (
+    BITS_PER_WORD,
+    ColumnarSketchStore,
+    mask_to_words,
+    words_to_mask,
+)
+
+
+def _store_with_rows(rows, signature_bits=8):
+    store = ColumnarSketchStore(signature_bits=signature_bits)
+    for values, mask, residual_size, record_size in rows:
+        store.append(
+            np.asarray(values, dtype=np.float64),
+            mask,
+            residual_size,
+            record_size,
+        )
+    return store
+
+
+class TestMaskPacking:
+    def test_round_trip_single_word(self):
+        mask = 0b1011_0001
+        assert words_to_mask(mask_to_words(mask, 1)) == mask
+
+    def test_round_trip_multi_word(self):
+        mask = (1 << 130) | (1 << 64) | 0b101
+        words = mask_to_words(mask, 3)
+        assert words.shape == (3,)
+        assert words_to_mask(words) == mask
+
+    def test_mask_beyond_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mask_to_words(1 << BITS_PER_WORD, 1)
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mask_to_words(-1, 1)
+
+
+class TestAppendAndAccess:
+    def test_rows_survive_compaction(self):
+        rows = [
+            ([0.1, 0.2], 0b01, 3, 5),
+            ([], 0b10, 0, 2),
+            ([0.05, 0.3, 0.4], 0b11, 3, 7),
+        ]
+        store = _store_with_rows(rows)
+        store.finalize()
+        for record_id, (values, mask, residual_size, record_size) in enumerate(rows):
+            assert store.row_values(record_id).tolist() == values
+            assert store.mask_int(record_id) == mask
+            assert store.residual_record_size(record_id) == residual_size
+            assert store.record_size(record_id) == record_size
+
+    def test_staged_rows_accessible_before_finalize(self):
+        store = _store_with_rows([([0.1], 0b1, 1, 2)])
+        store.finalize()
+        store.append(np.array([0.2, 0.9]), 0b10, 2, 4)
+        assert store.num_records == 2
+        assert store.row_values(1).tolist() == [0.2, 0.9]
+        assert store.mask_int(1) == 0b10
+        assert store.record_size(1) == 4
+
+    def test_offsets_are_csr(self):
+        store = _store_with_rows(
+            [([0.1, 0.2], 0, 2, 2), ([], 0, 0, 1), ([0.3], 0, 1, 1)]
+        )
+        assert store.offsets.tolist() == [0, 2, 2, 3]
+        assert store.values.tolist() == [0.1, 0.2, 0.3]
+        assert store.row_sizes.tolist() == [2, 0, 1]
+
+    def test_row_max_and_exact(self):
+        store = _store_with_rows(
+            [([0.1, 0.5], 0, 2, 3), ([], 0, 4, 4), ([0.2], 0, 1, 1)]
+        )
+        assert store.row_max.tolist() == [0.5, 0.0, 0.2]
+        assert store.row_exact.tolist() == [True, False, True]
+
+
+class TestInvalidation:
+    def test_append_after_finalize_invalidates_caches(self):
+        store = _store_with_rows([([0.1, 0.4], 0b1, 2, 2)])
+        store.finalize()
+        first = store.intersection_counts(np.array([0.1]))
+        assert first.tolist() == [1]
+        store.append(np.array([0.1, 0.2]), 0b1, 2, 3)
+        second = store.intersection_counts(np.array([0.1]))
+        assert second.tolist() == [1, 1]
+        assert store.signature_overlap(0b1).tolist() == [1, 1]
+
+    def test_truncate_drops_values_above_threshold(self):
+        store = _store_with_rows(
+            [([0.1, 0.4, 0.8], 0, 3, 3), ([0.5, 0.9], 0, 2, 2), ([], 0, 0, 1)]
+        )
+        store.finalize()
+        store.truncate_values(0.45)
+        assert store.values.tolist() == [0.1, 0.4]
+        assert store.offsets.tolist() == [0, 2, 2, 2]
+        assert store.intersection_counts(np.array([0.4, 0.5])).tolist() == [1, 0, 0]
+
+
+class TestKernels:
+    def test_intersection_counts_matches_python_sets(self):
+        rng = np.random.default_rng(3)
+        rows = []
+        for _ in range(40):
+            values = np.unique(rng.random(rng.integers(0, 12)))
+            rows.append((values, 0, values.size, values.size))
+        store = _store_with_rows(rows, signature_bits=0)
+        query = np.unique(
+            np.concatenate([rows[4][0], rows[9][0], rng.random(5)])
+        )
+        counts = store.intersection_counts(query)
+        joined = store.intersection_counts_join(query)
+        expected = [
+            len(set(values.tolist()) & set(query.tolist()))
+            for values, *_rest in rows
+        ]
+        assert counts.tolist() == expected
+        assert joined.tolist() == expected
+
+    def test_signature_overlap_matches_bit_counting(self):
+        rng = np.random.default_rng(11)
+        masks = [int(rng.integers(0, 2**20)) for _ in range(30)]
+        rows = [([], mask, 0, 1) for mask in masks]
+        store = _store_with_rows(rows, signature_bits=20)
+        query_mask = int(rng.integers(0, 2**20))
+        overlap = store.signature_overlap(query_mask)
+        expected = [(mask & query_mask).bit_count() for mask in masks]
+        assert overlap.tolist() == expected
+
+    def test_signature_overlap_many_matches_single(self):
+        rng = np.random.default_rng(13)
+        width = 70  # force two words
+        masks = [int(rng.integers(0, 2**63)) | (1 << 69) for _ in range(25)]
+        rows = [([], mask, 0, 1) for mask in masks]
+        store = _store_with_rows(rows, signature_bits=width)
+        query_masks = [int(rng.integers(0, 2**63)), (1 << 69) | 0b1, 0]
+        many = store.signature_overlap_many(query_masks)
+        for row, query_mask in enumerate(query_masks):
+            assert many[row].tolist() == store.signature_overlap(query_mask).tolist()
+
+    def test_intersection_counts_many_matches_single(self):
+        rng = np.random.default_rng(17)
+        rows = []
+        for _ in range(25):
+            values = np.unique(rng.random(rng.integers(0, 9)))
+            rows.append((values, 0, values.size, values.size))
+        store = _store_with_rows(rows, signature_bits=0)
+        queries = [np.unique(rng.random(6)), rows[3][0], np.empty(0)]
+        many = store.intersection_counts_many(queries)
+        for row, query in enumerate(queries):
+            assert many[row].tolist() == store.intersection_counts(query).tolist()
+
+    def test_empty_store_kernels(self):
+        store = ColumnarSketchStore(signature_bits=4)
+        assert store.intersection_counts(np.array([0.5])).size == 0
+        assert store.signature_overlap(0b1).size == 0
+        assert store.signature_overlap_many([0b1]).shape == (1, 0)
