@@ -14,13 +14,19 @@ workload with :meth:`KMVSearchIndex.search_many`.
 threshold ``τ`` chosen so the sketches fill the budget, and estimates
 with the enlarged-``k`` estimator of Equations 24–26.  It is exactly a
 GB-KMV index with buffer size zero, and is implemented as such —
-columnar store, batched engine and all.
+segmented columnar store, batched engine and all.
+
+Both expose the same dynamic surface as :class:`~repro.core.GBKMVIndex`
+— ``insert`` / ``delete`` / ``update`` under stable record ids, and
+``save`` / ``load`` npz snapshots — so the evaluation harness can drive
+every method through an identical mixed insert/delete/query stream.
 
 Both appear as the non-buffered points of Figure 6.
 """
 
 from __future__ import annotations
 
+import json
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -29,6 +35,13 @@ from repro._errors import ConfigurationError, EmptyDatasetError
 from repro.core.batched import KMVBatchEstimator
 from repro.core.index import GBKMVIndex, SearchResult, results_from_scores
 from repro.hashing import UnitHash
+
+#: Version tag written into KMV snapshots.
+KMV_SNAPSHOT_VERSION = 1
+
+#: Tombstoned-row fraction above which the KMV baseline compacts its row
+#: lists (mirroring the segmented store's ``compact_ratio``).
+KMV_COMPACT_RATIO = 0.25
 
 
 class KMVSearchIndex:
@@ -43,11 +56,19 @@ class KMVSearchIndex:
         self._hasher = hasher
         self._k = int(k_per_record)
         self._budget = float(budget)
-        # Per-record rows; the dense batched estimator is a derived cache
-        # rebuilt lazily after any insertion.
+        # Per-record rows with stable ids and tombstone flags; the dense
+        # batched estimator over the live rows is a derived cache rebuilt
+        # lazily after any mutation.
         self._value_rows: list[np.ndarray] = []
         self._record_sizes: list[int] = []
+        self._row_ids: list[int] = []
+        self._alive: list[bool] = []
+        self._id_to_pos: dict[int, int] = {}
+        self._next_id = 0
+        self._num_dead = 0
         self._estimator: KMVBatchEstimator | None = None
+        self._live_ids: np.ndarray | None = None
+        self._live_positions: dict[int, int] = {}
         self._stored_values = 0
 
     # ------------------------------------------------------------------ build
@@ -84,15 +105,72 @@ class KMVSearchIndex:
             index._add_record(record)
         return index
 
-    def _add_record(self, record: set) -> int:
-        record_id = len(self._record_sizes)
+    def _add_record(self, record: set, record_id: int | None = None) -> int:
+        if record_id is None:
+            record_id = self._next_id
+        else:
+            record_id = int(record_id)
+            if record_id in self._id_to_pos:
+                raise ConfigurationError(f"record id {record_id} is already live")
         hashes = np.unique(self._hasher.hash_many(list(record)))
         kept = hashes[: self._k]
+        self._id_to_pos[record_id] = len(self._value_rows)
         self._value_rows.append(kept)
         self._record_sizes.append(len(record))
+        self._row_ids.append(record_id)
+        self._alive.append(True)
+        self._next_id = max(self._next_id, record_id + 1)
         self._stored_values += int(kept.size)
         self._estimator = None
         return record_id
+
+    # ----------------------------------------------------------------- updates
+    def insert(self, record: Iterable[object]) -> int:
+        """Insert a new record; returns its stable record id."""
+        materialized = set(record)
+        if not materialized:
+            raise ConfigurationError("cannot insert an empty record")
+        return self._add_record(materialized)
+
+    def delete(self, record_id: int) -> None:
+        """Tombstone a record; it disappears from every subsequent search.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``record_id`` is unknown or already deleted.
+        """
+        position = self._id_to_pos.pop(int(record_id), None)
+        if position is None:
+            raise ConfigurationError(f"unknown or deleted record id {record_id}")
+        self._alive[position] = False
+        self._stored_values -= int(self._value_rows[position].size)
+        self._num_dead += 1
+        self._estimator = None
+        if self._num_dead >= KMV_COMPACT_RATIO * len(self._value_rows):
+            self._compact_rows()
+
+    def _compact_rows(self) -> None:
+        """Physically drop tombstoned rows so long streams stay bounded."""
+        if self._num_dead == 0:
+            return
+        live = [position for position, alive in enumerate(self._alive) if alive]
+        self._value_rows = [self._value_rows[position] for position in live]
+        self._record_sizes = [self._record_sizes[position] for position in live]
+        self._row_ids = [self._row_ids[position] for position in live]
+        self._alive = [True] * len(live)
+        self._id_to_pos = {
+            record_id: position for position, record_id in enumerate(self._row_ids)
+        }
+        self._num_dead = 0
+
+    def update(self, record_id: int, record: Iterable[object]) -> int:
+        """Replace a record's content in place, keeping its record id."""
+        materialized = set(record)
+        if not materialized:
+            raise ConfigurationError("cannot update a record to be empty")
+        self.delete(record_id)
+        return self._add_record(materialized, record_id=record_id)
 
     # ------------------------------------------------------------ introspection
     @property
@@ -102,30 +180,105 @@ class KMVSearchIndex:
 
     @property
     def num_records(self) -> int:
-        """Number of indexed records."""
-        return len(self._record_sizes)
+        """Number of live indexed records."""
+        return len(self._record_sizes) - self._num_dead
 
     def __len__(self) -> int:
         return self.num_records
 
     def space_in_values(self) -> float:
-        """Actual space used, in signature-value units."""
+        """Actual space used by live sketches, in signature-value units."""
         return float(self._stored_values)
 
     def space_fraction(self) -> float:
-        """Space used as a fraction of the dataset size."""
-        total = sum(self._record_sizes)
+        """Space used as a fraction of the (live) dataset size."""
+        total = sum(
+            size for size, alive in zip(self._record_sizes, self._alive) if alive
+        )
         return self.space_in_values() / total if total else 0.0
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path) -> None:
+        """Snapshot the index (rows, ids, tombstones, parameters) to npz."""
+        lengths = np.array([row.size for row in self._value_rows], dtype=np.int64)
+        values = (
+            np.concatenate(self._value_rows)
+            if self._value_rows
+            else np.empty(0, dtype=np.float64)
+        )
+        offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(lengths, dtype=np.int64)]
+        )
+        meta = {
+            "format_version": KMV_SNAPSHOT_VERSION,
+            "k_per_record": self._k,
+            "budget": self._budget,
+            "hasher_seed": self._hasher.seed,
+            "next_id": self._next_id,
+        }
+        np.savez_compressed(
+            path,
+            kmv_meta=np.array(json.dumps(meta)),
+            values=values,
+            offsets=offsets,
+            record_sizes=np.asarray(self._record_sizes, dtype=np.int64),
+            row_ids=np.asarray(self._row_ids, dtype=np.int64),
+            alive=np.asarray(self._alive, dtype=bool),
+        )
+
+    @classmethod
+    def load(cls, path) -> "KMVSearchIndex":
+        """Restore an index saved with :meth:`save` (bitwise-identical search)."""
+        with np.load(path) as data:
+            meta = json.loads(str(data["kmv_meta"][()]))
+            values = np.asarray(data["values"], dtype=np.float64)
+            offsets = np.asarray(data["offsets"], dtype=np.int64)
+            record_sizes = np.asarray(data["record_sizes"], dtype=np.int64)
+            row_ids = np.asarray(data["row_ids"], dtype=np.int64)
+            alive = np.asarray(data["alive"], dtype=bool)
+        version = meta.get("format_version")
+        if version != KMV_SNAPSHOT_VERSION:
+            raise ConfigurationError(
+                f"unsupported KMV snapshot version {version!r} "
+                f"(this build reads version {KMV_SNAPSHOT_VERSION})"
+            )
+        index = cls(
+            hasher=UnitHash(seed=int(meta["hasher_seed"])),
+            k_per_record=int(meta["k_per_record"]),
+            budget=float(meta["budget"]),
+        )
+        for position in range(record_sizes.size):
+            row = values[offsets[position] : offsets[position + 1]].copy()
+            index._value_rows.append(row)
+            index._record_sizes.append(int(record_sizes[position]))
+            index._row_ids.append(int(row_ids[position]))
+            index._alive.append(bool(alive[position]))
+            if alive[position]:
+                index._id_to_pos[int(row_ids[position])] = position
+                index._stored_values += int(row.size)
+            else:
+                index._num_dead += 1
+        index._next_id = int(meta["next_id"])
+        return index
 
     # ----------------------------------------------------------------- search
     def _finalize(self) -> KMVBatchEstimator:
-        """Pack the value rows into the dense padded matrix of the estimator."""
+        """Pack the live rows into the dense padded matrix of the estimator."""
         if self._estimator is None:
+            live = [position for position, alive in enumerate(self._alive) if alive]
             self._estimator = KMVBatchEstimator.from_value_rows(
-                self._value_rows,
-                self._record_sizes,
+                [self._value_rows[position] for position in live],
+                [self._record_sizes[position] for position in live],
                 self._k,
             )
+            ids = np.array(
+                [self._row_ids[position] for position in live], dtype=np.int64
+            )
+            identity = bool(np.array_equal(ids, np.arange(ids.size, dtype=np.int64)))
+            self._live_ids = None if identity else ids
+            self._live_positions = {
+                int(record_id): row for row, record_id in enumerate(ids.tolist())
+            }
         return self._estimator
 
     def _query_values(self, query_elements: set) -> tuple[np.ndarray, int]:
@@ -142,7 +295,11 @@ class KMVSearchIndex:
         hash set (the query had at most ``k`` distinct elements); when both
         sides are exact the overlap is counted exactly instead of estimated.
         """
-        return self._finalize().intersection_one(query_values, query_exact, record_id)
+        estimator = self._finalize()
+        row = self._live_positions.get(int(record_id))
+        if row is None:
+            raise ConfigurationError(f"unknown or deleted record id {record_id}")
+        return estimator.intersection_one(query_values, query_exact, row)
 
     def search(
         self,
@@ -162,7 +319,7 @@ class KMVSearchIndex:
         estimator = self._finalize()
         query_values, query_hash_count = self._query_values(query_elements)
         estimates = estimator.intersection_many(query_values, query_hash_count)
-        return results_from_scores(estimates, threshold, q)
+        return results_from_scores(estimates, threshold, q, row_ids=self._live_ids)
 
     def search_many(
         self,
@@ -229,7 +386,7 @@ class GKMVSearchIndex:
 
     @property
     def num_records(self) -> int:
-        """Number of indexed records."""
+        """Number of live indexed records."""
         return self._inner.num_records
 
     def __len__(self) -> int:
@@ -243,6 +400,42 @@ class GKMVSearchIndex:
         """Space used as a fraction of the dataset size."""
         return self._inner.space_fraction()
 
+    # ----------------------------------------------------- dynamic maintenance
+    def insert(self, record: Iterable[object]) -> int:
+        """Insert a new record under the current global threshold ``τ``."""
+        return self._inner.insert(record)
+
+    def delete(self, record_id: int) -> None:
+        """Tombstone a record; it disappears from every subsequent search."""
+        self._inner.delete(record_id)
+
+    def update(self, record_id: int, record: Iterable[object]) -> int:
+        """Replace a record's content in place, keeping its record id."""
+        return self._inner.update(record_id, record)
+
+    def save(self, path) -> None:
+        """Snapshot the inner zero-buffer GB-KMV index to npz."""
+        self._inner.save(path)
+
+    @classmethod
+    def load(cls, path) -> "GKMVSearchIndex":
+        """Restore an index saved with :meth:`save`.
+
+        Raises
+        ------
+        ConfigurationError
+            If the snapshot holds a *buffered* GB-KMV index: wrapping it
+            would silently report GB-KMV numbers under the G-KMV label.
+        """
+        inner = GBKMVIndex.load(path)
+        if inner.buffer_size != 0:
+            raise ConfigurationError(
+                "snapshot holds a GB-KMV index with buffer size "
+                f"{inner.buffer_size}; G-KMV requires buffer size 0"
+            )
+        return cls(inner)
+
+    # ----------------------------------------------------------------- search
     def search(
         self,
         query: Iterable[object],

@@ -23,6 +23,9 @@ Conventions
   its record, enabling the exact short-circuit of the scalar estimators.
 * Union estimates that the scalar API would refuse (fewer than two
   retained values and not exact) are reported as ``nan``.
+* Rows of the segmented store are *physical* rows; tombstoned rows (in
+  the sealed base or the mutable tail) are skipped — ``0.0``
+  intersection, ``nan`` union — via the optional ``alive_rows`` mask.
 """
 
 from __future__ import annotations
@@ -60,6 +63,7 @@ def residual_intersection_estimates(
     query_num_values,
     query_max,
     query_exact,
+    alive_rows: np.ndarray | None = None,
 ) -> np.ndarray:
     """G-KMV intersection estimates (Equation 25) for whole candidate sets.
 
@@ -77,6 +81,11 @@ def residual_intersection_estimates(
     query_num_values, query_max, query_exact:
         The query sketch's value count, largest value (``0.0`` when
         empty) and exactness flag.
+    alive_rows:
+        Optional liveness mask over rows (the segmented store's
+        tombstone complement); tombstoned rows report ``0.0``.  ``None``
+        skips the masking pass entirely, keeping the static path
+        bit-identical to the scalar estimators.
     """
     sizes = np.asarray(row_sizes, dtype=np.float64)
     k_cap = np.asarray(intersection_counts, dtype=np.float64)
@@ -93,7 +102,10 @@ def residual_intersection_estimates(
     # assignment would produce, and no gather/scatter passes are needed.
     with np.errstate(divide="ignore", invalid="ignore"):
         formula = (k_cap / k_union) * ((k_union - 1.0) / u_k)
-    return np.where(both_exact, k_cap, np.where(estimable, formula, 0.0))
+    estimates = np.where(both_exact, k_cap, np.where(estimable, formula, 0.0))
+    if alive_rows is not None:
+        estimates = np.where(alive_rows, estimates, 0.0)
+    return estimates
 
 
 def residual_union_estimates(
@@ -104,6 +116,7 @@ def residual_union_estimates(
     query_num_values,
     query_max,
     query_exact,
+    alive_rows: np.ndarray | None = None,
 ) -> np.ndarray:
     """G-KMV union-size estimates (Equation 24) for whole candidate sets.
 
@@ -111,6 +124,8 @@ def residual_union_estimates(
     pairs report ``(k − 1) / U(k)``; degenerate pairs (union of fewer
     than two observed values, not exact) report ``nan`` — the batch
     analogue of the scalar API's :class:`~repro._errors.EstimationError`.
+    Tombstoned rows (``alive_rows`` false) also report ``nan``: a union
+    with a deleted record is as unanswerable as a degenerate one.
     """
     sizes = np.asarray(row_sizes, dtype=np.float64)
     k_cap = np.asarray(intersection_counts, dtype=np.float64)
@@ -121,7 +136,10 @@ def residual_union_estimates(
     estimable = (~both_exact) & (k_union >= 2) & (u_k > 0.0)
     with np.errstate(divide="ignore", invalid="ignore"):
         formula = (k_union - 1.0) / u_k
-    return np.where(both_exact, k_union, np.where(estimable, formula, np.nan))
+    estimates = np.where(both_exact, k_union, np.where(estimable, formula, np.nan))
+    if alive_rows is not None:
+        estimates = np.where(alive_rows, estimates, np.nan)
+    return estimates
 
 
 def kmv_intersection_estimates(
@@ -210,7 +228,10 @@ class GKMVBatchEstimator:
 
     The store's rows are the candidate sketches; each call scores one
     query (given by its kept hash values and its residual record size)
-    against every row at once.
+    against every *physical* row at once.  Tombstoned rows in either
+    segment of the store are skipped (``0.0`` intersection, ``nan``
+    union); map rows to record ids with the store's
+    :meth:`~repro.core.store.ColumnarSketchStore.result_view`.
     """
 
     def __init__(self, store: ColumnarSketchStore) -> None:
@@ -227,10 +248,14 @@ class GKMVBatchEstimator:
         query_exact = bool(query_values.size >= query_record_size)
         return query_values, query_max, query_exact
 
+    def _alive(self) -> np.ndarray | None:
+        _row_ids, alive = self._store.result_view()
+        return alive
+
     def intersection_many(
         self, query_values: np.ndarray, query_record_size: int
     ) -> np.ndarray:
-        """Equation 25 against every stored record."""
+        """Equation 25 against every stored row (``0.0`` for tombstones)."""
         store = self._store
         query_values, query_max, query_exact = self._query_parts(
             query_values, query_record_size
@@ -244,12 +269,13 @@ class GKMVBatchEstimator:
             query_values.size,
             query_max,
             query_exact,
+            alive_rows=self._alive(),
         )
 
     def union_many(
         self, query_values: np.ndarray, query_record_size: int
     ) -> np.ndarray:
-        """Equation 24 against every stored record (``nan`` where degenerate)."""
+        """Equation 24 against every stored row (``nan`` where degenerate or dead)."""
         store = self._store
         query_values, query_max, query_exact = self._query_parts(
             query_values, query_record_size
@@ -263,6 +289,7 @@ class GKMVBatchEstimator:
             query_values.size,
             query_max,
             query_exact,
+            alive_rows=self._alive(),
         )
 
     def containment_many(

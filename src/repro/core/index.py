@@ -3,17 +3,23 @@
 This module implements Algorithm 1 (index construction) and Algorithm 2
 (containment similarity search) of the paper, together with the practical
 machinery a user needs: budget accounting, a cost-model-driven buffer
-size, and dynamic insertion.
+size, and full dynamic maintenance — insert, delete, update — plus
+snapshot persistence.
 
 All per-record sketch state lives in a
-:class:`~repro.core.store.ColumnarSketchStore` — one concatenated
-float64 array of residual hash values with CSR offsets, a packed uint64
-signature matrix for the frequent-element buffers, and parallel size
-arrays — so a query is scored against *every* record with a handful of
-vectorised kernels instead of a per-record Python loop.  On top of the
-single-query :meth:`GBKMVIndex.search`, :meth:`GBKMVIndex.search_many`
-evaluates a whole workload at once through the store's value→record
-join index.
+:class:`~repro.core.store.ColumnarSketchStore` — a segmented columnar
+layout (sealed base + mutable tail) of residual hash values with CSR
+offsets, a packed uint64 signature matrix for the frequent-element
+buffers, and parallel size columns — so a query is scored against
+*every* record with a handful of vectorised kernels instead of a
+per-record Python loop.  On top of the single-query
+:meth:`GBKMVIndex.search`, :meth:`GBKMVIndex.search_many` evaluates a
+whole workload at once through the store's value→record join index.
+Inserts merge into the sealed segment incrementally (no wholesale
+re-sort), deletes tombstone in O(1) and compact lazily, and
+:meth:`GBKMVIndex.save` / :meth:`GBKMVIndex.load` round-trip the entire
+index state — columns, vocabulary, threshold, hasher seed — through one
+npz snapshot.
 
 Typical usage::
 
@@ -25,10 +31,17 @@ Typical usage::
         print(hit.record_id, hit.score)
 
     all_results = index.search_many(queries, threshold=0.5)
+
+    new_id = index.insert(new_record)
+    index.delete(new_id)
+    index.save("index.npz")
+    restored = GBKMVIndex.load("index.npz")
 """
 
 from __future__ import annotations
 
+import base64
+import json
 from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
@@ -79,7 +92,11 @@ class IndexStatistics:
 
 
 def results_from_scores(
-    scores: np.ndarray, threshold: float, query_size: int
+    scores: np.ndarray,
+    threshold: float,
+    query_size: int,
+    row_ids: np.ndarray | None = None,
+    alive: np.ndarray | None = None,
 ) -> list[SearchResult]:
     """Select, normalise and sort the hits of one query.
 
@@ -89,15 +106,24 @@ def results_from_scores(
     at least ``threshold * query_size`` up to a relative tolerance, and
     results are ordered by decreasing score with ties broken by record
     id.
+
+    ``scores`` is indexed by physical store row; ``row_ids`` maps rows to
+    stable record ids (identity when ``None``) and ``alive`` masks out
+    tombstoned rows (all alive when ``None``) — the two halves of the
+    segmented store's :meth:`~repro.core.store.ColumnarSketchStore.result_view`.
     """
     theta = threshold * query_size
     if theta <= 0.0:
-        hit_ids = np.arange(scores.size)
+        hit_rows = np.arange(scores.size) if alive is None else np.nonzero(alive)[0]
     else:
         # Relative tolerance so exact integer estimates survive the float
         # noise of ``threshold * q`` without admitting genuinely lower scores.
-        hit_ids = np.nonzero(scores >= theta * (1.0 - 1e-12))[0]
-    hit_scores = scores[hit_ids] / query_size
+        hit_mask = scores >= theta * (1.0 - 1e-12)
+        if alive is not None:
+            hit_mask &= alive
+        hit_rows = np.nonzero(hit_mask)[0]
+    hit_scores = scores[hit_rows] / query_size
+    hit_ids = hit_rows if row_ids is None else row_ids[hit_rows]
     # Decreasing score, ties by increasing record id (lexsort's last key
     # is the primary one).
     order = np.lexsort((hit_ids, -hit_scores))
@@ -105,6 +131,43 @@ def results_from_scores(
         SearchResult(record_id=record_id, score=score)
         for record_id, score in zip(hit_ids[order].tolist(), hit_scores[order].tolist())
     ]
+
+
+def _encode_elements(elements: Sequence[object]) -> list[list[object]]:
+    """JSON-safe tagged encoding of vocabulary elements (int/str/bytes/bool)."""
+    encoded: list[list[object]] = []
+    for element in elements:
+        if isinstance(element, bool):
+            encoded.append(["bool", bool(element)])
+        elif isinstance(element, (int, np.integer)):
+            encoded.append(["int", int(element)])
+        elif isinstance(element, str):
+            encoded.append(["str", element])
+        elif isinstance(element, bytes):
+            encoded.append(["bytes", base64.b64encode(element).decode("ascii")])
+        else:
+            raise ConfigurationError(
+                f"cannot persist vocabulary element of type {type(element).__name__!r}; "
+                "elements must be int, str, bytes or bool"
+            )
+    return encoded
+
+
+def _decode_elements(encoded: Sequence[Sequence[object]]) -> list[object]:
+    """Inverse of :func:`_encode_elements`."""
+    decoded: list[object] = []
+    for tag, payload in encoded:
+        if tag == "bool":
+            decoded.append(bool(payload))
+        elif tag == "int":
+            decoded.append(int(payload))
+        elif tag == "str":
+            decoded.append(str(payload))
+        elif tag == "bytes":
+            decoded.append(base64.b64decode(str(payload)))
+        else:
+            raise ConfigurationError(f"unknown vocabulary element tag {tag!r}")
+    return decoded
 
 
 @dataclass(frozen=True)
@@ -240,6 +303,35 @@ class GBKMVIndex:
             index._add_record(record)
         return index
 
+    @classmethod
+    def from_parameters(
+        cls,
+        records: Sequence[Iterable[object]],
+        vocabulary: FrequentElementVocabulary,
+        threshold: float,
+        hasher: UnitHash,
+        budget: float,
+    ) -> "GBKMVIndex":
+        """Sketch a dataset under *pinned* parameters (no cost model).
+
+        The rebuild primitive of the dynamic-data story: given the
+        vocabulary, threshold and hasher of an existing index, produce a
+        freshly constructed index whose sketches — and therefore search
+        results — are bitwise identical to what incremental maintenance
+        of the original index yields.  Also the baseline the
+        ``test_dynamic_store`` benchmark charges for rebuilding from
+        scratch on every batch of insertions.
+        """
+        index = cls(
+            vocabulary=vocabulary, threshold=threshold, hasher=hasher, budget=budget
+        )
+        for record in records:
+            materialized = set(record)
+            if not materialized:
+                raise ConfigurationError("records must be non-empty sets of elements")
+            index._add_record(materialized)
+        return index
+
     def _sketch_parts(self, record: set) -> tuple[int, np.ndarray, int]:
         """Split a record into (buffer mask, kept residual values, residual size)."""
         buffer, residual_elements = self._vocabulary.split_record(record)
@@ -263,7 +355,7 @@ class GBKMVIndex:
     # ------------------------------------------------------------ introspection
     @property
     def num_records(self) -> int:
-        """Number of records indexed."""
+        """Number of live records indexed (deleted records excluded)."""
         return self._store.num_records
 
     @property
@@ -304,17 +396,21 @@ class GBKMVIndex:
         return self._store.record_size(record_id)
 
     def record_sizes(self) -> np.ndarray:
-        """Distinct-element counts of every indexed record."""
-        return self._store.record_sizes.copy()
+        """Distinct-element counts of every live indexed record."""
+        return self._store.live_record_sizes().copy()
 
     def space_in_values(self) -> float:
-        """Actual space used, in signature-value units (values + r/32 per record)."""
+        """Actual space used, in signature-value units (values + r/32 per record).
+
+        Live sketch content only: tombstoned rows stop counting the
+        moment they are deleted (compaction reclaims their memory later).
+        """
         buffer_cost = self.num_records * self._vocabulary.size / BITS_PER_SIGNATURE_UNIT
         return self._store.total_values + buffer_cost
 
     def space_fraction(self) -> float:
-        """Space used as a fraction of the dataset size."""
-        total_elements = int(self._store.record_sizes.sum())
+        """Space used as a fraction of the (live) dataset size."""
+        total_elements = int(self._store.live_record_sizes().sum())
         if total_elements == 0:
             return 0.0
         return self.space_in_values() / total_elements
@@ -323,7 +419,7 @@ class GBKMVIndex:
         """Summary statistics of the built index."""
         return IndexStatistics(
             num_records=self.num_records,
-            total_elements=int(self._store.record_sizes.sum()),
+            total_elements=int(self._store.live_record_sizes().sum()),
             buffer_size=self.buffer_size,
             threshold=self._threshold,
             space_in_values=self.space_in_values(),
@@ -349,17 +445,19 @@ class GBKMVIndex:
         )
 
     def sketches(self) -> Iterator[GBKMVSketch]:
-        """Iterate over the sketches of all indexed records."""
-        for record_id in range(self.num_records):
+        """Iterate over the sketches of all live indexed records."""
+        for record_id in self._store.live_record_ids().tolist():
             yield self.sketch(record_id)
 
     # ---------------------------------------------------------------- updates
     def insert(self, record: Iterable[object]) -> int:
         """Insert a new record under the current vocabulary and threshold.
 
-        Returns the new record id.  Appending invalidates the store's
-        query-time caches, so a search following the insert sees the new
-        record immediately.  The global threshold is *not* recomputed
+        Returns the new record id.  The record lands in the store's
+        mutable tail segment and is merged into the sealed columns
+        incrementally on the next search — no wholesale re-sort — so the
+        insert is visible immediately and insert/search interleaving
+        stays cheap.  The global threshold is *not* recomputed
         automatically; call :meth:`refit_threshold` after a batch of
         insertions to shrink the sketches back into the budget (the
         dynamic-data procedure described at the end of Section IV-B).
@@ -368,6 +466,39 @@ class GBKMVIndex:
         if not materialized:
             raise ConfigurationError("cannot insert an empty record")
         return self._add_record(materialized)
+
+    def delete(self, record_id: int) -> None:
+        """Delete a record: an O(1) tombstone, invisible to every later search.
+
+        Physical space is reclaimed lazily — once the tombstoned fraction
+        crosses the store's ``compact_ratio``, the next search compacts
+        the columns.  Record ids of surviving records never change.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``record_id`` is unknown or already deleted.
+        """
+        self._store.delete(int(record_id))
+
+    def update(self, record_id: int, record: Iterable[object]) -> int:
+        """Replace a record's content in place, keeping its record id.
+
+        The new version is sketched under the current vocabulary and
+        threshold (tombstone the old row + append the new one); returns
+        the unchanged record id.
+        """
+        materialized = set(record)
+        if not materialized:
+            raise ConfigurationError("cannot update a record to be empty")
+        mask, kept, residual_size = self._sketch_parts(materialized)
+        return self._store.replace(
+            int(record_id),
+            values=kept,
+            mask=mask,
+            residual_record_size=residual_size,
+            record_size=len(materialized),
+        )
 
     def refit_threshold(self) -> float:
         """Recompute ``τ`` so the index fits its budget again, shrinking sketches.
@@ -378,7 +509,7 @@ class GBKMVIndex:
         """
         buffer_cost = self.num_records * self._vocabulary.size / BITS_PER_SIGNATURE_UNIT
         residual_budget = max(self._budget - buffer_cost, 0.0)
-        all_values = self._store.values
+        all_values = self._store.live_values()
         if all_values.size == 0:
             return self._threshold
         if all_values.size <= residual_budget:
@@ -398,6 +529,62 @@ class GBKMVIndex:
         self._threshold = new_threshold
         self._store.truncate_values(new_threshold)
         return self._threshold
+
+    # ------------------------------------------------------------ persistence
+    SNAPSHOT_FORMAT_VERSION = 1
+
+    def save(self, path) -> None:
+        """Snapshot the full index state to one npz file.
+
+        Everything :meth:`load` needs to answer queries identically is
+        written: the store's columns (CSR values, signatures, size
+        columns, row ids, tombstones), the frequent-element vocabulary,
+        the global threshold ``τ``, the space budget and the hasher seed.
+        """
+        meta = {
+            "format_version": self.SNAPSHOT_FORMAT_VERSION,
+            "threshold": self._threshold,
+            "budget": self._budget,
+            "hasher_seed": self._hasher.seed,
+            "vocabulary": _encode_elements(self._vocabulary.elements),
+        }
+        np.savez_compressed(
+            path,
+            index_meta=np.array(json.dumps(meta)),
+            **self._store.state_arrays(),
+        )
+
+    @classmethod
+    def load(cls, path) -> "GBKMVIndex":
+        """Restore an index saved with :meth:`save`.
+
+        The restored index answers :meth:`search` / :meth:`search_many`
+        with bitwise-identical scores (same values, same vocabulary, same
+        hasher seed ⇒ same estimator arithmetic) and keeps every dynamic
+        capability — insert, delete, update, refit — of the original.
+        """
+        with np.load(path) as data:
+            meta = json.loads(str(data["index_meta"][()]))
+            arrays = {name: data[name] for name in data.files if name != "index_meta"}
+        version = meta.get("format_version")
+        if version != cls.SNAPSHOT_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported index snapshot version {version!r} "
+                f"(this build reads version {cls.SNAPSHOT_FORMAT_VERSION})"
+            )
+        vocabulary = FrequentElementVocabulary(_decode_elements(meta["vocabulary"]))
+        index = cls(
+            vocabulary=vocabulary,
+            threshold=float(meta["threshold"]),
+            hasher=UnitHash(seed=int(meta["hasher_seed"])),
+            budget=float(meta["budget"]),
+        )
+        index._store = ColumnarSketchStore.from_state(arrays)
+        if index._store.signature_bits != vocabulary.size:
+            raise ConfigurationError(
+                "snapshot signature width does not match its vocabulary size"
+            )
+        return index
 
     # ----------------------------------------------------------------- search
     def query_sketch(self, query: Iterable[object]) -> GBKMVSketch:
@@ -479,7 +666,10 @@ class GBKMVIndex:
             raise ConfigurationError("threshold must be in [0, 1]")
         prepared = self._prepare_query(query, query_size)
         scores = self._score_prepared(prepared)
-        return results_from_scores(scores, threshold, prepared.query_size)
+        row_ids, alive = self._store.result_view()
+        return results_from_scores(
+            scores, threshold, prepared.query_size, row_ids=row_ids, alive=alive
+        )
 
     def search_many(
         self,
@@ -541,8 +731,11 @@ class GBKMVIndex:
             exact,
         )
         scores = overlaps.astype(np.float64) + residual_estimates
+        row_ids, alive = store.result_view()
         return [
-            results_from_scores(scores[row], threshold, p.query_size)
+            results_from_scores(
+                scores[row], threshold, p.query_size, row_ids=row_ids, alive=alive
+            )
             for row, p in enumerate(prepared)
         ]
 
@@ -556,8 +749,14 @@ class GBKMVIndex:
             raise ConfigurationError("k must be positive")
         prepared = self._prepare_query(query, query_size)
         scores = self._score_prepared(prepared) / prepared.query_size
-        order = np.argsort(-scores, kind="stable")[:k]
+        row_ids, alive = self._store.result_view()
+        rows = np.arange(scores.size) if alive is None else np.nonzero(alive)[0]
+        candidate_scores = scores[rows]
+        ids = rows if row_ids is None else row_ids[rows]
+        # Same tie policy as results_from_scores: decreasing score, ties by
+        # increasing record id (not physical row, which updates can reorder).
+        order = np.lexsort((ids, -candidate_scores))[:k]
         return [
-            SearchResult(record_id=int(record_id), score=float(scores[record_id]))
-            for record_id in order
+            SearchResult(record_id=int(ids[position]), score=float(candidate_scores[position]))
+            for position in order.tolist()
         ]

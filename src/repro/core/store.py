@@ -1,4 +1,4 @@
-"""Columnar storage of per-record GB-KMV sketch state.
+"""Segmented columnar storage of per-record GB-KMV sketch state.
 
 Historically :class:`~repro.core.index.GBKMVIndex` kept one Python object
 per record (``list[np.ndarray]`` of residual hash values, ``list[int]``
@@ -7,34 +7,45 @@ lists record by record, so query time was dominated by interpreter
 overhead rather than by the estimator arithmetic the paper analyses.
 
 :class:`ColumnarSketchStore` consolidates the same state into a handful
-of flat NumPy arrays:
+of flat NumPy arrays, organised LSM-style into two segments:
 
-``values`` / ``offsets``
-    All residual hash values of all records concatenated into a single
-    sorted-per-row float64 array with CSR-style row offsets
-    (``values[offsets[i]:offsets[i + 1]]`` is record ``i``).
-``signatures``
-    The frequent-element buffer bitmaps, packed into a ``uint64`` matrix
-    of shape ``(num_records, words)`` with 64 bits per word.
-``record_sizes`` / ``residual_record_sizes``
-    Parallel int64 arrays of per-record distinct-element counts.
+*base segment*
+    The sealed columns — all residual hash values concatenated into a
+    single sorted-per-row float64 array with CSR-style row offsets
+    (``values[offsets[i]:offsets[i + 1]]`` is physical row ``i``), a
+    packed ``uint64`` signature matrix (64 bits per word), parallel
+    int64 size columns, a ``row_ids`` column mapping physical rows to
+    stable record ids, and a boolean tombstone mask.
+*tail segment*
+    Freshly appended rows, staged in small Python lists.  The tail is
+    absorbed into the base lazily; crucially the derived query-time
+    caches are *merged*, not rebuilt: the value→record join index (every
+    stored occurrence sorted by value) is maintained with a sorted
+    two-run merge — ``O(T + S log S)`` for ``S`` staged values over
+    ``T`` stored ones — instead of the wholesale ``O(T log T)`` re-sort
+    a full invalidation would pay.
+
+Mutations beyond ``append`` are first-class: :meth:`delete` tombstones a
+record in O(1) (searches skip it immediately), :meth:`replace` swaps a
+record's sketch under the same id, and once the tombstoned fraction
+crosses ``compact_ratio`` the next :meth:`finalize` physically compacts
+the columns, filtering (never re-sorting) the derived caches.  The full
+segment state round-trips through npz snapshots via :meth:`save` /
+:meth:`load`.
 
 On top of the columns the store offers the vectorised kernels the
 batched query engine is built from: whole-dataset intersection counts
 against a sorted query array (a vectorised merge over the CSR arrays),
-popcount-based signature overlaps, and multi-query variants built on a
-value→record join index that touches only the occurrences a query
-actually shares with the dataset.
-
-Rows are appended into a small staging area and *compacted* into the
-flat columns lazily, so dynamic insertion stays cheap; every mutation
-invalidates the derived query-time caches, which are rebuilt by
-:meth:`finalize` on the next search.
+popcount-based signature overlaps, and multi-query variants built on the
+value→record join index that touch only the occurrences a query actually
+shares with the dataset.  Kernels are indexed by *physical row*; use
+:meth:`result_view` (or :attr:`row_ids` / :attr:`alive_rows`) to map
+kernel outputs back to record ids when the store has seen deletes.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -44,6 +55,14 @@ from repro._errors import ConfigurationError
 BITS_PER_WORD = 64
 
 _WORD_MASK = (1 << BITS_PER_WORD) - 1
+
+#: Tombstoned-row fraction above which :meth:`ColumnarSketchStore.finalize`
+#: physically compacts the columns.
+DEFAULT_COMPACT_RATIO = 0.25
+
+#: Version tag written into snapshots so future layout changes can refuse
+#: (or migrate) old files instead of misreading them.
+SNAPSHOT_VERSION = 1
 
 
 def mask_to_words(mask: int, num_words: int) -> np.ndarray:
@@ -67,40 +86,69 @@ def words_to_mask(words: np.ndarray) -> int:
 
 
 class ColumnarSketchStore:
-    """Flat columnar arrays holding every record's GB-KMV sketch state.
+    """Segmented columnar arrays holding every record's GB-KMV sketch state.
 
     Parameters
     ----------
     signature_bits:
         Width ``r`` of the frequent-element bitmap.  ``0`` disables the
         signature columns (the G-KMV special case).
+    compact_ratio:
+        Tombstoned-row fraction that triggers physical compaction on the
+        next :meth:`finalize`, in ``(0, 1]``.
+    incremental_merge:
+        When true (the default), absorbing the tail merges the derived
+        join index with a sorted two-run merge; when false, every absorb
+        drops the derived caches and the next :meth:`finalize` rebuilds
+        them from scratch (the pre-segmented behaviour, kept as the
+        benchmark baseline).
     """
 
-    def __init__(self, signature_bits: int) -> None:
+    def __init__(
+        self,
+        signature_bits: int,
+        compact_ratio: float = DEFAULT_COMPACT_RATIO,
+        incremental_merge: bool = True,
+    ) -> None:
         if signature_bits < 0:
             raise ConfigurationError("signature_bits must be non-negative")
+        if not 0.0 < compact_ratio <= 1.0:
+            raise ConfigurationError("compact_ratio must be in (0, 1]")
         self._signature_bits = int(signature_bits)
         self._num_words = -(-self._signature_bits // BITS_PER_WORD) if signature_bits else 0
+        self._compact_ratio = float(compact_ratio)
+        self.incremental_merge = bool(incremental_merge)
 
-        # Compacted columns (row-major CSR + parallel arrays).
+        # Base segment (sealed columns; row-major CSR + parallel arrays).
         self._values = np.empty(0, dtype=np.float64)
         self._offsets = np.zeros(1, dtype=np.int64)
         self._signatures = np.zeros((0, self._num_words), dtype=np.uint64)
         self._record_sizes = np.empty(0, dtype=np.int64)
         self._residual_record_sizes = np.empty(0, dtype=np.int64)
+        self._row_ids = np.empty(0, dtype=np.int64)
+        self._tombstones = np.zeros(0, dtype=bool)
 
-        # Staged rows not yet merged into the columns.
+        # Tail segment (staged rows not yet absorbed into the base).
         self._pending_values: list[np.ndarray] = []
         self._pending_masks: list[int] = []
         self._pending_record_sizes: list[int] = []
         self._pending_residual_sizes: list[int] = []
+        self._pending_ids: list[int] = []
+        self._pending_dead: list[bool] = []
 
-        # Derived query-time caches (built by finalize, dropped on mutation).
+        # Record-id bookkeeping (live ids only; deleted ids are dropped).
+        self._id_to_row: dict[int, int] = {}
+        self._next_id = 0
+        self._num_dead = 0
+        self._dead_values = 0
+        self._ids_identity = True  # row_ids[i] == i for every physical row
+
+        # Derived query-time caches (maintained incrementally where possible).
         self._finalized = False
         self._row_max: np.ndarray | None = None
         self._row_exact: np.ndarray | None = None
         self._sorted_values: np.ndarray | None = None
-        self._sorted_record_ids: np.ndarray | None = None
+        self._sorted_rows: np.ndarray | None = None
 
     # ------------------------------------------------------------- mutation
     def append(
@@ -109,44 +157,101 @@ class ColumnarSketchStore:
         mask: int,
         residual_record_size: int,
         record_size: int,
+        record_id: int | None = None,
     ) -> int:
-        """Stage one record's sketch row; returns its record id.
+        """Stage one record's sketch row in the tail; returns its record id.
 
         ``values`` must be sorted ascending and distinct (the natural
-        output of ``np.unique`` over kept hash values).
+        output of ``np.unique`` over kept hash values).  ``record_id``
+        pins an explicit id (used by :meth:`replace`); by default ids are
+        assigned sequentially and never reused.
         """
-        record_id = self.num_records
+        if record_id is None:
+            record_id = self._next_id
+        else:
+            record_id = int(record_id)
+            if record_id in self._id_to_row:
+                raise ConfigurationError(f"record id {record_id} is already live")
+        row = self.num_rows
+        self._ids_identity = self._ids_identity and record_id == row
         self._pending_values.append(np.asarray(values, dtype=np.float64))
         self._pending_masks.append(int(mask))
         self._pending_residual_sizes.append(int(residual_record_size))
         self._pending_record_sizes.append(int(record_size))
-        self._invalidate()
+        self._pending_ids.append(record_id)
+        self._pending_dead.append(False)
+        self._id_to_row[record_id] = row
+        self._next_id = max(self._next_id, record_id + 1)
+        self._finalized = False
         return record_id
 
-    def _invalidate(self) -> None:
-        """Drop every derived cache; the next finalize rebuilds them.
+    def delete(self, record_id: int) -> None:
+        """Tombstone a record in O(1); it disappears from search immediately.
 
-        Rebuilding the value→record join index is O(T log T) over all
-        stored occurrences, so a workload alternating single inserts
-        with searches pays the full re-sort each time; batch the inserts
-        (or merge staged rows incrementally, a future optimisation) if
-        that pattern matters.
+        The row stays in the columns (masked out of results) until the
+        tombstoned fraction crosses ``compact_ratio`` and the next
+        :meth:`finalize` physically compacts it away.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``record_id`` is unknown or already deleted.
         """
-        self._finalized = False
-        self._row_max = None
-        self._row_exact = None
-        self._sorted_values = None
-        self._sorted_record_ids = None
+        row = self._id_to_row.pop(int(record_id), None)
+        if row is None:
+            raise ConfigurationError(f"unknown or deleted record id {record_id}")
+        base_rows = int(self._record_sizes.size)
+        if row < base_rows:
+            self._tombstones[row] = True
+            self._dead_values += int(self._offsets[row + 1] - self._offsets[row])
+        else:
+            position = row - base_rows
+            self._pending_dead[position] = True
+            self._dead_values += int(self._pending_values[position].size)
+        self._num_dead += 1
+        if self._num_dead >= self._compact_ratio * self.num_rows:
+            self._finalized = False  # the next finalize compacts
 
-    def _compact(self) -> None:
-        """Merge staged rows into the flat columns."""
+    def replace(
+        self,
+        record_id: int,
+        values: np.ndarray,
+        mask: int,
+        residual_record_size: int,
+        record_size: int,
+    ) -> int:
+        """Swap a record's sketch row under the same record id (an update)."""
+        self.delete(record_id)
+        return self.append(
+            values=values,
+            mask=mask,
+            residual_record_size=residual_record_size,
+            record_size=record_size,
+            record_id=record_id,
+        )
+
+    def _absorb_tail(self) -> None:
+        """Merge staged tail rows into the base columns.
+
+        With ``incremental_merge`` enabled the derived caches are extended
+        in place: the per-row maxima/exactness columns grow by ``O(S)``
+        and the value→record join index is merged as two sorted runs —
+        sort the ``S`` staged values (``O(S log S)``), then one
+        ``searchsorted`` against the sealed run plus a scatter
+        (``O(T + S)``).  Without it the caches are dropped and the next
+        :meth:`finalize` re-sorts everything (``O(T log T)``).
+        """
         if not self._pending_values:
             return
         pending_values = self._pending_values
+        base_rows = int(self._record_sizes.size)
         lengths = np.fromiter(
             (arr.size for arr in pending_values), dtype=np.int64, count=len(pending_values)
         )
-        self._values = np.concatenate([self._values, *pending_values])
+        tail_values = (
+            np.concatenate(pending_values) if lengths.sum() else np.empty(0, dtype=np.float64)
+        )
+        self._values = np.concatenate([self._values, tail_values])
         new_offsets = self._offsets[-1] + np.cumsum(lengths)
         self._offsets = np.concatenate([self._offsets, new_offsets])
         if self._num_words:
@@ -161,49 +266,220 @@ class ColumnarSketchStore:
         self._record_sizes = np.concatenate(
             [self._record_sizes, np.asarray(self._pending_record_sizes, dtype=np.int64)]
         )
+        pending_residual = np.asarray(self._pending_residual_sizes, dtype=np.int64)
         self._residual_record_sizes = np.concatenate(
-            [
-                self._residual_record_sizes,
-                np.asarray(self._pending_residual_sizes, dtype=np.int64),
-            ]
+            [self._residual_record_sizes, pending_residual]
         )
+        self._row_ids = np.concatenate(
+            [self._row_ids, np.asarray(self._pending_ids, dtype=np.int64)]
+        )
+        self._tombstones = np.concatenate(
+            [self._tombstones, np.asarray(self._pending_dead, dtype=bool)]
+        )
+
+        if self.incremental_merge:
+            if self._row_max is not None:
+                tail_max = np.zeros(len(pending_values), dtype=np.float64)
+                nonempty = lengths > 0
+                last = self._offsets[base_rows + 1 :] - 1
+                tail_max[nonempty] = self._values[last[nonempty]]
+                self._row_max = np.concatenate([self._row_max, tail_max])
+                self._row_exact = np.concatenate(
+                    [self._row_exact, lengths >= pending_residual]
+                )
+            if self._sorted_values is not None:
+                tail_rows = np.repeat(
+                    np.arange(base_rows, base_rows + len(pending_values), dtype=np.int64),
+                    lengths,
+                )
+                order = np.argsort(tail_values, kind="stable")
+                self._sorted_values, self._sorted_rows = _merge_sorted_runs(
+                    self._sorted_values,
+                    self._sorted_rows,
+                    tail_values[order],
+                    tail_rows[order],
+                )
+        else:
+            self._row_max = None
+            self._row_exact = None
+            self._sorted_values = None
+            self._sorted_rows = None
+
         self._pending_values = []
         self._pending_masks = []
         self._pending_record_sizes = []
         self._pending_residual_sizes = []
+        self._pending_ids = []
+        self._pending_dead = []
 
     def finalize(self) -> None:
-        """Compact staged rows and (re)build the derived query-time caches."""
+        """Absorb the tail, compact if due, and ensure the derived caches exist."""
         if self._finalized:
             return
-        self._compact()
-        sizes = self.row_sizes
-        last = self._offsets[1:] - 1
-        maxima = np.zeros(self.num_records, dtype=np.float64)
-        nonempty = sizes > 0
-        maxima[nonempty] = self._values[last[nonempty]]
-        self._row_max = maxima
-        self._row_exact = sizes >= self._residual_record_sizes
-        # Value → record join index: every stored occurrence sorted by value,
-        # so a query's values can be matched with one searchsorted each.
-        order = np.argsort(self._values, kind="stable")
-        self._sorted_values = self._values[order]
-        record_ids = np.repeat(
-            np.arange(self.num_records, dtype=np.int64), np.diff(self._offsets)
-        )
-        self._sorted_record_ids = record_ids[order]
+        if self._num_dead and self._num_dead >= self._compact_ratio * self.num_rows:
+            self.compact_tombstones()
+        self._absorb_tail()
+        if self._row_max is None or self._row_exact is None:
+            sizes = np.diff(self._offsets)
+            last = self._offsets[1:] - 1
+            maxima = np.zeros(self._record_sizes.size, dtype=np.float64)
+            nonempty = sizes > 0
+            maxima[nonempty] = self._values[last[nonempty]]
+            self._row_max = maxima
+            self._row_exact = sizes >= self._residual_record_sizes
+        if self._sorted_values is None or self._sorted_rows is None:
+            # Value → record join index built from scratch: every stored
+            # occurrence sorted by value, so a query's values can be
+            # matched with one searchsorted each.
+            order = np.argsort(self._values, kind="stable")
+            self._sorted_values = self._values[order]
+            rows = np.repeat(
+                np.arange(self._record_sizes.size, dtype=np.int64),
+                np.diff(self._offsets),
+            )
+            self._sorted_rows = rows[order]
         self._finalized = True
 
+    def compact_tombstones(self) -> None:
+        """Physically drop tombstoned rows from the columns.
+
+        Record ids are stable: surviving rows keep their ids through the
+        ``row_ids`` column, only their physical positions shift.  Derived
+        caches are *filtered* (order-preserving), never re-sorted.
+        """
+        self._absorb_tail()
+        if self._num_dead == 0:
+            return
+        alive = ~self._tombstones
+        row_sizes = np.diff(self._offsets)
+        self._values = self._values[np.repeat(alive, row_sizes)]
+        kept_sizes = row_sizes[alive]
+        self._offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(kept_sizes, dtype=np.int64)]
+        )
+        self._signatures = self._signatures[alive]
+        self._record_sizes = self._record_sizes[alive]
+        self._residual_record_sizes = self._residual_record_sizes[alive]
+        self._row_ids = self._row_ids[alive]
+        new_row = np.cumsum(alive, dtype=np.int64) - 1
+        if self._sorted_values is not None and self._sorted_rows is not None:
+            entry_alive = alive[self._sorted_rows]
+            self._sorted_values = self._sorted_values[entry_alive]
+            self._sorted_rows = new_row[self._sorted_rows[entry_alive]]
+        if self._row_max is not None and self._row_exact is not None:
+            self._row_max = self._row_max[alive]
+            self._row_exact = self._row_exact[alive]
+        self._tombstones = np.zeros(int(alive.sum()), dtype=bool)
+        self._num_dead = 0
+        self._dead_values = 0
+        self._id_to_row = {
+            int(rid): row for row, rid in enumerate(self._row_ids.tolist())
+        }
+        self._ids_identity = bool(
+            np.array_equal(self._row_ids, np.arange(self._row_ids.size, dtype=np.int64))
+        )
+
     def truncate_values(self, threshold: float) -> None:
-        """Drop every stored value above ``threshold`` (per-row prefixes survive)."""
-        self._compact()
+        """Drop every stored value above ``threshold`` (per-row prefixes survive).
+
+        The join index is value-sorted, so the survivors are exactly its
+        prefix up to ``threshold`` — no re-sort is needed; only the
+        per-row maxima/exactness columns are rebuilt on the next
+        :meth:`finalize`.
+        """
+        self._absorb_tail()
         keep = self._values <= threshold
         kept_cumulative = np.concatenate(
             [np.zeros(1, dtype=np.int64), np.cumsum(keep, dtype=np.int64)]
         )
         self._values = self._values[keep]
         self._offsets = kept_cumulative[self._offsets]
-        self._invalidate()
+        if self._num_dead:
+            self._dead_values = int(np.diff(self._offsets)[self._tombstones].sum())
+        if self._sorted_values is not None and self._sorted_rows is not None:
+            cut = int(np.searchsorted(self._sorted_values, threshold, side="right"))
+            self._sorted_values = self._sorted_values[:cut].copy()
+            self._sorted_rows = self._sorted_rows[:cut].copy()
+        self._row_max = None
+        self._row_exact = None
+        self._finalized = False
+
+    # ------------------------------------------------------------ snapshots
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The full segment state as named arrays (tail absorbed first)."""
+        self._absorb_tail()
+        return {
+            "values": self._values,
+            "offsets": self._offsets,
+            "signatures": self._signatures,
+            "record_sizes": self._record_sizes,
+            "residual_record_sizes": self._residual_record_sizes,
+            "row_ids": self._row_ids,
+            "tombstones": self._tombstones,
+            "store_meta": np.array(
+                [SNAPSHOT_VERSION, self._signature_bits, self._next_id], dtype=np.int64
+            ),
+        }
+
+    def save(self, path) -> None:
+        """Snapshot the store to an npz file (see :meth:`load`)."""
+        np.savez_compressed(path, **self.state_arrays())
+
+    @classmethod
+    def from_state(
+        cls,
+        arrays: Mapping[str, np.ndarray],
+        compact_ratio: float = DEFAULT_COMPACT_RATIO,
+        incremental_merge: bool = True,
+    ) -> "ColumnarSketchStore":
+        """Rebuild a store from :meth:`state_arrays` output."""
+        meta = np.asarray(arrays["store_meta"], dtype=np.int64)
+        version, signature_bits, next_id = (int(x) for x in meta)
+        if version != SNAPSHOT_VERSION:
+            raise ConfigurationError(
+                f"unsupported store snapshot version {version} "
+                f"(this build reads version {SNAPSHOT_VERSION})"
+            )
+        store = cls(
+            signature_bits=signature_bits,
+            compact_ratio=compact_ratio,
+            incremental_merge=incremental_merge,
+        )
+        store._values = np.asarray(arrays["values"], dtype=np.float64)
+        store._offsets = np.asarray(arrays["offsets"], dtype=np.int64)
+        num_rows = int(np.asarray(arrays["record_sizes"]).size)
+        signatures = np.asarray(arrays["signatures"], dtype=np.uint64)
+        store._signatures = signatures.reshape(num_rows, store._num_words)
+        store._record_sizes = np.asarray(arrays["record_sizes"], dtype=np.int64)
+        store._residual_record_sizes = np.asarray(
+            arrays["residual_record_sizes"], dtype=np.int64
+        )
+        store._row_ids = np.asarray(arrays["row_ids"], dtype=np.int64)
+        store._tombstones = np.asarray(arrays["tombstones"], dtype=bool)
+        store._next_id = next_id
+        store._num_dead = int(store._tombstones.sum())
+        if store._num_dead:
+            store._dead_values = int(
+                np.diff(store._offsets)[store._tombstones].sum()
+            )
+        store._id_to_row = {
+            int(rid): row
+            for row, rid in enumerate(store._row_ids.tolist())
+            if not store._tombstones[row]
+        }
+        store._ids_identity = bool(
+            np.array_equal(
+                store._row_ids, np.arange(store._row_ids.size, dtype=np.int64)
+            )
+        )
+        return store
+
+    @classmethod
+    def load(cls, path) -> "ColumnarSketchStore":
+        """Inverse of :meth:`save`."""
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        return cls.from_state(arrays)
 
     # -------------------------------------------------------- introspection
     @property
@@ -212,110 +488,185 @@ class ColumnarSketchStore:
         return self._signature_bits
 
     @property
-    def num_records(self) -> int:
-        """Number of rows, staged rows included."""
+    def compact_ratio(self) -> float:
+        """Tombstoned-row fraction that triggers compaction at finalize."""
+        return self._compact_ratio
+
+    @property
+    def num_rows(self) -> int:
+        """Number of physical rows (tombstoned and staged rows included)."""
         return int(self._record_sizes.size) + len(self._pending_values)
+
+    @property
+    def num_records(self) -> int:
+        """Number of live records (physical rows minus tombstones)."""
+        return self.num_rows - self._num_dead
+
+    @property
+    def num_dead(self) -> int:
+        """Number of tombstoned rows awaiting compaction."""
+        return self._num_dead
 
     def __len__(self) -> int:
         return self.num_records
 
+    def __contains__(self, record_id: object) -> bool:
+        return record_id in self._id_to_row
+
     @property
     def total_values(self) -> int:
-        """Total number of stored residual hash values across all rows."""
+        """Total stored residual hash values across all *live* rows."""
         staged = sum(arr.size for arr in self._pending_values)
-        return int(self._values.size) + int(staged)
+        return int(self._values.size) + int(staged) - self._dead_values
 
     @property
     def values(self) -> np.ndarray:
-        """The concatenated residual values (compacts staged rows first)."""
-        self._compact()
+        """The concatenated residual values (absorbs staged rows first)."""
+        self._absorb_tail()
         return self._values
 
     @property
     def offsets(self) -> np.ndarray:
         """CSR row offsets into :attr:`values`."""
-        self._compact()
+        self._absorb_tail()
         return self._offsets
 
     @property
     def signatures(self) -> np.ndarray:
-        """Packed uint64 signature matrix of shape ``(num_records, words)``."""
-        self._compact()
+        """Packed uint64 signature matrix of shape ``(num_rows, words)``."""
+        self._absorb_tail()
         return self._signatures
 
     @property
     def record_sizes(self) -> np.ndarray:
-        """Distinct-element count of every record."""
-        self._compact()
+        """Distinct-element count of every physical row."""
+        self._absorb_tail()
         return self._record_sizes
 
     @property
     def residual_record_sizes(self) -> np.ndarray:
-        """Distinct residual (non-frequent) element count of every record."""
-        self._compact()
+        """Distinct residual (non-frequent) element count of every physical row."""
+        self._absorb_tail()
         return self._residual_record_sizes
 
     @property
     def row_sizes(self) -> np.ndarray:
-        """Number of stored values per row."""
-        self._compact()
+        """Number of stored values per physical row."""
+        self._absorb_tail()
         return np.diff(self._offsets)
 
     @property
+    def row_ids(self) -> np.ndarray:
+        """Record id of every physical row (stable across compaction)."""
+        self._absorb_tail()
+        return self._row_ids
+
+    @property
+    def alive_rows(self) -> np.ndarray:
+        """Boolean mask over physical rows: ``True`` where not tombstoned."""
+        self._absorb_tail()
+        return ~self._tombstones
+
+    def result_view(self) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """``(row_ids, alive)`` for mapping kernel outputs to record ids.
+
+        Both are ``None`` while the mapping is trivial (ids equal physical
+        rows, nothing tombstoned), which lets the static search path skip
+        the extra indexing entirely.
+        """
+        self._absorb_tail()
+        row_ids = None if self._ids_identity else self._row_ids
+        alive = None if self._num_dead == 0 else ~self._tombstones
+        return row_ids, alive
+
+    def live_record_ids(self) -> np.ndarray:
+        """Record ids of every live row, in physical-row order."""
+        self._absorb_tail()
+        if self._num_dead == 0:
+            return self._row_ids.copy()
+        return self._row_ids[~self._tombstones]
+
+    def live_record_sizes(self) -> np.ndarray:
+        """Distinct-element counts of live rows, in physical-row order."""
+        self._absorb_tail()
+        if self._num_dead == 0:
+            return self._record_sizes
+        return self._record_sizes[~self._tombstones]
+
+    def live_values(self) -> np.ndarray:
+        """Concatenated residual values of live rows only."""
+        self._absorb_tail()
+        if self._num_dead == 0:
+            return self._values
+        return self._values[np.repeat(~self._tombstones, np.diff(self._offsets))]
+
+    @property
     def row_max(self) -> np.ndarray:
-        """Largest stored value per row (``0.0`` for empty rows)."""
+        """Largest stored value per physical row (``0.0`` for empty rows)."""
         self.finalize()
         assert self._row_max is not None
         return self._row_max
 
     @property
     def row_exact(self) -> np.ndarray:
-        """Whether each row retains every hash value of its residual."""
+        """Whether each physical row retains every hash value of its residual."""
         self.finalize()
         assert self._row_exact is not None
         return self._row_exact
 
+    def _row_of(self, record_id: int) -> int:
+        row = self._id_to_row.get(int(record_id))
+        if row is None:
+            raise ConfigurationError(f"unknown or deleted record id {record_id}")
+        return row
+
     def row_values(self, record_id: int) -> np.ndarray:
-        """One record's stored values (a view into the CSR array)."""
-        compacted = int(self._record_sizes.size)
-        if record_id < compacted:
-            start, stop = self._offsets[record_id], self._offsets[record_id + 1]
+        """One live record's stored values (a view into the CSR array)."""
+        row = self._row_of(record_id)
+        base_rows = int(self._record_sizes.size)
+        if row < base_rows:
+            start, stop = self._offsets[row], self._offsets[row + 1]
             return self._values[start:stop]
-        return self._pending_values[record_id - compacted]
+        return self._pending_values[row - base_rows]
 
     def mask_int(self, record_id: int) -> int:
-        """One record's signature bitmap as a Python integer."""
-        compacted = int(self._record_sizes.size)
-        if record_id < compacted:
-            return words_to_mask(self._signatures[record_id])
-        return self._pending_masks[record_id - compacted]
+        """One live record's signature bitmap as a Python integer."""
+        row = self._row_of(record_id)
+        base_rows = int(self._record_sizes.size)
+        if row < base_rows:
+            return words_to_mask(self._signatures[row])
+        return self._pending_masks[row - base_rows]
 
     def record_size(self, record_id: int) -> int:
-        """Distinct-element count of one record."""
-        compacted = int(self._record_sizes.size)
-        if record_id < compacted:
-            return int(self._record_sizes[record_id])
-        return self._pending_record_sizes[record_id - compacted]
+        """Distinct-element count of one live record."""
+        row = self._row_of(record_id)
+        base_rows = int(self._record_sizes.size)
+        if row < base_rows:
+            return int(self._record_sizes[row])
+        return self._pending_record_sizes[row - base_rows]
 
     def residual_record_size(self, record_id: int) -> int:
-        """Distinct residual element count of one record."""
-        compacted = int(self._record_sizes.size)
-        if record_id < compacted:
-            return int(self._residual_record_sizes[record_id])
-        return self._pending_residual_sizes[record_id - compacted]
+        """Distinct residual element count of one live record."""
+        row = self._row_of(record_id)
+        base_rows = int(self._record_sizes.size)
+        if row < base_rows:
+            return int(self._residual_record_sizes[row])
+        return self._pending_residual_sizes[row - base_rows]
 
     # -------------------------------------------------------------- kernels
     def intersection_counts(self, query_values: np.ndarray) -> np.ndarray:
-        """``|L_Q ∩ L_X|`` for *every* record at once (vectorised CSR merge).
+        """``|L_Q ∩ L_X|`` for *every* physical row at once (vectorised CSR merge).
 
         ``query_values`` must be sorted ascending and distinct.  The merge
         is one ``searchsorted`` of all stored values against the query
         followed by a per-row segment sum — no per-record Python work.
+        Tombstoned rows are counted like any other; mask them with
+        :attr:`alive_rows` downstream.
         """
         self.finalize()
         query_values = np.asarray(query_values, dtype=np.float64)
         if query_values.size == 0 or self._values.size == 0:
-            return np.zeros(self.num_records, dtype=np.int64)
+            return np.zeros(self.num_rows, dtype=np.int64)
         positions = np.searchsorted(query_values, self._values)
         member = np.zeros(self._values.size, dtype=np.int64)
         in_range = positions < query_values.size
@@ -334,8 +685,8 @@ class ColumnarSketchStore:
         are touched.
         """
         self.finalize()
-        assert self._sorted_values is not None and self._sorted_record_ids is not None
-        counts = np.zeros(self.num_records, dtype=np.int64)
+        assert self._sorted_values is not None and self._sorted_rows is not None
+        counts = np.zeros(self.num_rows, dtype=np.int64)
         query_values = np.asarray(query_values, dtype=np.float64)
         if query_values.size == 0 or self._sorted_values.size == 0:
             return counts
@@ -344,21 +695,21 @@ class ColumnarSketchStore:
         matched = _gather_ranges(starts, stops)
         if matched.size:
             counts += np.bincount(
-                self._sorted_record_ids[matched], minlength=self.num_records
+                self._sorted_rows[matched], minlength=self.num_rows
             )
         return counts
 
     def signature_overlap(self, mask: int) -> np.ndarray:
-        """``|H_Q ∩ H_X|`` for every record (popcount of a bitwise AND)."""
+        """``|H_Q ∩ H_X|`` for every physical row (popcount of a bitwise AND)."""
         self.finalize()
         if self._num_words == 0 or mask == 0:
-            return np.zeros(self.num_records, dtype=np.int64)
+            return np.zeros(self.num_rows, dtype=np.int64)
         query_words = mask_to_words(mask, self._num_words)
         overlap = np.bitwise_count(self._signatures & query_words[np.newaxis, :])
         return overlap.sum(axis=1, dtype=np.int64)
 
     def signature_overlap_many(self, masks: Sequence[int]) -> np.ndarray:
-        """``|H_Q ∩ H_X|`` for a whole workload at once, shape ``(B, n)``.
+        """``|H_Q ∩ H_X|`` for a whole workload at once, shape ``(B, num_rows)``.
 
         One popcount pass per query over the packed signature matrix —
         measurably faster than an unpacked bit-matrix product at
@@ -367,7 +718,7 @@ class ColumnarSketchStore:
         """
         self.finalize()
         num_queries = len(masks)
-        overlaps = np.zeros((num_queries, self.num_records), dtype=np.int64)
+        overlaps = np.zeros((num_queries, self.num_rows), dtype=np.int64)
         for row, mask in enumerate(masks):
             overlaps[row] = self.signature_overlap(mask)
         return overlaps
@@ -375,12 +726,43 @@ class ColumnarSketchStore:
     def intersection_counts_many(
         self, queries_values: Sequence[np.ndarray]
     ) -> np.ndarray:
-        """``|L_Q ∩ L_X|`` for every (query, record) pair, shape ``(B, n)``."""
+        """``|L_Q ∩ L_X|`` for every (query, row) pair, shape ``(B, num_rows)``."""
         self.finalize()
-        counts = np.zeros((len(queries_values), self.num_records), dtype=np.int64)
+        counts = np.zeros((len(queries_values), self.num_rows), dtype=np.int64)
         for row, query_values in enumerate(queries_values):
             counts[row] = self.intersection_counts_join(query_values)
         return counts
+
+
+def _merge_sorted_runs(
+    base_values: np.ndarray,
+    base_rows: np.ndarray,
+    tail_values: np.ndarray,
+    tail_rows: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two sorted (value, row) runs into one, stably, in linear time.
+
+    Equal values keep base entries before tail entries and preserve each
+    run's internal order — exactly the order a stable argsort over the
+    concatenated columns would produce, so incremental maintenance is
+    indistinguishable from a from-scratch rebuild.
+    """
+    if tail_values.size == 0:
+        return base_values, base_rows
+    if base_values.size == 0:
+        return tail_values, tail_rows
+    total = base_values.size + tail_values.size
+    destinations = np.searchsorted(base_values, tail_values, side="right")
+    destinations += np.arange(tail_values.size, dtype=np.int64)
+    merged_values = np.empty(total, dtype=np.float64)
+    merged_rows = np.empty(total, dtype=np.int64)
+    base_mask = np.ones(total, dtype=bool)
+    base_mask[destinations] = False
+    merged_values[destinations] = tail_values
+    merged_rows[destinations] = tail_rows
+    merged_values[base_mask] = base_values
+    merged_rows[base_mask] = base_rows
+    return merged_values, merged_rows
 
 
 def _gather_ranges(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:

@@ -18,9 +18,12 @@ Public API
     Named proxies for the paper's seven datasets.
 ``fit_power_law_exponent`` / ``element_frequencies`` / ``record_sizes``
     The statistics Table II reports, computed from any dataset.
-``sample_queries`` / ``QueryWorkload``
+``sample_queries`` / ``QueryWorkload`` / ``build_workload``
     Query workloads drawn from the dataset (the paper draws 200 random
     records as queries).
+``build_dynamic_workload`` / ``DynamicWorkload`` / ``StreamOperation``
+    Mixed insert/delete/query streams with per-instant exact ground
+    truth, for evaluating dynamic index maintenance.
 ``save_records`` / ``load_records``
     Simple whitespace-token text format for persisting datasets.
 """
@@ -42,7 +45,14 @@ from repro.datasets.proxies import (
     dataset_characteristics,
     load_proxy,
 )
-from repro.datasets.workload import QueryWorkload, sample_queries
+from repro.datasets.workload import (
+    DynamicWorkload,
+    QueryWorkload,
+    StreamOperation,
+    build_dynamic_workload,
+    build_workload,
+    sample_queries,
+)
 from repro.datasets.loaders import load_records, save_records
 
 __all__ = [
@@ -58,6 +68,10 @@ __all__ = [
     "dataset_characteristics",
     "load_proxy",
     "QueryWorkload",
+    "DynamicWorkload",
+    "StreamOperation",
+    "build_workload",
+    "build_dynamic_workload",
     "sample_queries",
     "save_records",
     "load_records",

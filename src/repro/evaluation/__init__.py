@@ -15,9 +15,14 @@ from repro.evaluation.ground_truth import exact_result_sets
 from repro.evaluation.harness import (
     AccuracyReport,
     BatchSearcher,
+    DynamicEvaluation,
+    DynamicSearcher,
     MethodEvaluation,
     Searcher,
+    evaluate_dynamic_stream,
     evaluate_search_method,
+    run_dynamic_experiment,
+    run_experiment,
     time_construction,
 )
 from repro.evaluation.reporting import format_table, series_to_rows
@@ -29,9 +34,14 @@ __all__ = [
     "exact_result_sets",
     "AccuracyReport",
     "BatchSearcher",
+    "DynamicEvaluation",
+    "DynamicSearcher",
     "Searcher",
     "MethodEvaluation",
+    "evaluate_dynamic_stream",
     "evaluate_search_method",
+    "run_dynamic_experiment",
+    "run_experiment",
     "time_construction",
     "format_table",
     "series_to_rows",

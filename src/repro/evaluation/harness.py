@@ -11,6 +11,13 @@ The benchmark modules in ``benchmarks/`` all follow the same recipe:
 
 Steps 2–5 live here so the benchmark files stay declarative: they state
 what the paper's figure varies and print the resulting rows.
+
+Beyond the paper's static experiments, the harness replays *mixed
+insert/delete/query streams*
+(:class:`~repro.datasets.workload.DynamicWorkload`) against any searcher
+exposing the dynamic API — :func:`evaluate_dynamic_stream` measures
+accuracy against the per-instant exact ground truth plus separate
+mutation and query throughput.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ import numpy as np
 
 from repro._errors import ConfigurationError
 from repro.evaluation.ground_truth import exact_result_sets
-from repro.evaluation.metrics import ConfusionCounts, f_score
+from repro.evaluation.metrics import ConfusionCounts
 
 
 @runtime_checkable
@@ -159,6 +166,119 @@ def evaluate_search_method(
         space_fraction=space_fraction,
         construction_seconds=construction_seconds,
     )
+
+
+@runtime_checkable
+class DynamicSearcher(Protocol):
+    """Searchers that also absorb inserts and deletes under stable record ids."""
+
+    def search(self, query, threshold, query_size=None):  # pragma: no cover - protocol
+        """Return hits with ``record_id`` attributes (or plain record ids)."""
+        ...
+
+    def insert(self, record):  # pragma: no cover - protocol
+        """Insert a record, returning its new stable record id."""
+        ...
+
+    def delete(self, record_id):  # pragma: no cover - protocol
+        """Remove a record; later searches must not return it."""
+        ...
+
+
+@dataclass(frozen=True)
+class DynamicEvaluation:
+    """Accuracy plus throughput of one method over one mixed stream."""
+
+    method: str
+    accuracy: AccuracyReport
+    num_operations: int
+    num_inserts: int
+    num_deletes: int
+    num_queries: int
+    total_seconds: float
+    avg_query_seconds: float
+    avg_mutation_seconds: float
+    space_in_values: float
+    space_fraction: float
+
+
+def evaluate_dynamic_stream(
+    method_name: str,
+    searcher: DynamicSearcher,
+    workload,
+) -> DynamicEvaluation:
+    """Replay a mixed insert/delete/query stream and measure everything.
+
+    ``searcher`` must already hold ``workload.initial_records`` (build it
+    on exactly those records so the stream's record ids line up with the
+    searcher's sequential id assignment).  Each query is scored against
+    the stream's per-instant exact ground truth; mutation and query time
+    are accounted separately so insert-heavy and query-heavy mixes stay
+    comparable.
+    """
+    answers: list[set[int]] = []
+    truths: list[frozenset[int]] = []
+    num_inserts = num_deletes = 0
+    mutation_seconds = query_seconds = 0.0
+    for operation in workload.operations:
+        if operation.op == "insert":
+            start = time.perf_counter()
+            assigned = searcher.insert(list(operation.record))
+            mutation_seconds += time.perf_counter() - start
+            num_inserts += 1
+            if int(assigned) != operation.record_id:
+                raise ConfigurationError(
+                    f"searcher assigned id {assigned} where the stream expected "
+                    f"{operation.record_id}; build it on the workload's "
+                    "initial_records"
+                )
+        elif operation.op == "delete":
+            start = time.perf_counter()
+            searcher.delete(operation.record_id)
+            mutation_seconds += time.perf_counter() - start
+            num_deletes += 1
+        elif operation.op == "query":
+            start = time.perf_counter()
+            hits = searcher.search(list(operation.query), workload.threshold)
+            query_seconds += time.perf_counter() - start
+            answers.append(_result_ids(hits))
+            truths.append(operation.ground_truth)
+        else:
+            raise ConfigurationError(f"unknown stream operation {operation.op!r}")
+    accuracy = measure_accuracy(answers, truths)
+    num_queries = len(answers)
+    num_mutations = num_inserts + num_deletes
+    space_in_values = float(getattr(searcher, "space_in_values", lambda: 0.0)())
+    space_fraction = float(getattr(searcher, "space_fraction", lambda: 0.0)())
+    return DynamicEvaluation(
+        method=method_name,
+        accuracy=accuracy,
+        num_operations=workload.num_operations,
+        num_inserts=num_inserts,
+        num_deletes=num_deletes,
+        num_queries=num_queries,
+        total_seconds=mutation_seconds + query_seconds,
+        avg_query_seconds=query_seconds / max(num_queries, 1),
+        avg_mutation_seconds=mutation_seconds / max(num_mutations, 1),
+        space_in_values=space_in_values,
+        space_fraction=space_fraction,
+    )
+
+
+def run_dynamic_experiment(
+    workload,
+    methods: dict[str, Callable[[Sequence[Sequence[object]]], DynamicSearcher]],
+) -> dict[str, DynamicEvaluation]:
+    """Build every method on the stream's initial records and replay it.
+
+    ``methods`` maps a display name to a one-argument builder taking the
+    initial records, mirroring :func:`run_experiment`.
+    """
+    evaluations: dict[str, DynamicEvaluation] = {}
+    for name, builder in methods.items():
+        searcher = builder(list(workload.initial_records))
+        evaluations[name] = evaluate_dynamic_stream(name, searcher, workload)
+    return evaluations
 
 
 def run_experiment(

@@ -18,7 +18,6 @@ from repro.core import GKMVBatchEstimator, KMVBatchEstimator
 from repro.core.gkmv import GKMVSketch
 from repro.core.kmv import KMVSketch
 from repro.core.store import ColumnarSketchStore
-from repro.hashing import UnitHash
 
 
 @pytest.fixture

@@ -6,7 +6,7 @@ import pytest
 
 from repro._errors import ConfigurationError, DatasetFormatError, EmptyDatasetError
 from repro.datasets import load_records, sample_queries, save_records
-from repro.datasets.workload import build_workload
+from repro.datasets.workload import build_dynamic_workload, build_workload
 from repro.exact import BruteForceSearcher
 
 
@@ -96,3 +96,86 @@ class TestLoaders:
         path = tmp_path / "data.txt"
         path.write_text("12 word -3\n")
         assert load_records(path) == [[12, "word", -3]]
+
+
+class TestBuildDynamicWorkload:
+    def test_operation_mix_and_determinism(self, zipf_records):
+        workload = build_dynamic_workload(
+            zipf_records, threshold=0.5, num_operations=120, seed=3
+        )
+        again = build_dynamic_workload(
+            zipf_records, threshold=0.5, num_operations=120, seed=3
+        )
+        assert workload == again
+        counts = workload.operation_counts()
+        assert sum(counts.values()) == 120
+        assert counts["insert"] > 0 and counts["delete"] > 0 and counts["query"] > 0
+
+    def test_insert_ids_are_sequential_from_initial_size(self, zipf_records):
+        workload = build_dynamic_workload(
+            zipf_records, threshold=0.5, num_initial=50, num_operations=80, seed=5
+        )
+        assert len(workload.initial_records) == 50
+        insert_ids = [
+            operation.record_id
+            for operation in workload.operations
+            if operation.op == "insert"
+        ]
+        assert insert_ids == list(range(50, 50 + len(insert_ids)))
+
+    def test_deletes_target_live_records_only(self, zipf_records):
+        workload = build_dynamic_workload(
+            zipf_records, threshold=0.5, num_operations=150, delete_fraction=0.4, seed=7
+        )
+        live = set(range(len(workload.initial_records)))
+        for operation in workload.operations:
+            if operation.op == "insert":
+                live.add(operation.record_id)
+            elif operation.op == "delete":
+                assert operation.record_id in live
+                live.remove(operation.record_id)
+
+    def test_ground_truth_is_exact_over_live_set(self, zipf_records):
+        threshold = 0.5
+        workload = build_dynamic_workload(
+            zipf_records, threshold=threshold, num_operations=100, seed=11
+        )
+        live = {
+            record_id: frozenset(record)
+            for record_id, record in enumerate(workload.initial_records)
+        }
+        for operation in workload.operations:
+            if operation.op == "insert":
+                live[operation.record_id] = frozenset(operation.record)
+            elif operation.op == "delete":
+                del live[operation.record_id]
+            else:
+                query = frozenset(operation.query)
+                theta = threshold * len(query)
+                expected = {
+                    record_id
+                    for record_id, elements in live.items()
+                    if len(query & elements) >= theta * (1.0 - 1e-12)
+                }
+                assert set(operation.ground_truth) == expected
+                assert expected  # the query's own record is always a hit
+
+    def test_queries_carry_threshold_hits_of_self(self, zipf_records):
+        workload = build_dynamic_workload(zipf_records, threshold=1.0, num_operations=60, seed=2)
+        for operation in workload.operations:
+            if operation.op == "query":
+                assert operation.ground_truth  # self-containment is 1.0
+
+    def test_validation(self, zipf_records):
+        with pytest.raises(EmptyDatasetError):
+            build_dynamic_workload([], threshold=0.5)
+        with pytest.raises(ConfigurationError):
+            build_dynamic_workload(zipf_records, threshold=1.5)
+        with pytest.raises(ConfigurationError):
+            build_dynamic_workload(zipf_records, threshold=0.5, num_operations=0)
+        with pytest.raises(ConfigurationError):
+            build_dynamic_workload(
+                zipf_records, threshold=0.5, insert_fraction=0.8, delete_fraction=0.3
+            )
+        with pytest.raises(ConfigurationError):
+            build_dynamic_workload(zipf_records, threshold=0.5, num_initial=0)

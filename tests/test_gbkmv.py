@@ -7,7 +7,6 @@ import pytest
 
 from repro._errors import ConfigurationError, SketchCompatibilityError
 from repro.core import FrequentElementVocabulary, GBKMVSketch, GKMVSketch
-from repro.core.buffer import FrequentElementBuffer
 from repro.hashing import UnitHash
 
 

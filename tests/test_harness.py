@@ -13,7 +13,14 @@ from repro.evaluation import (
     series_to_rows,
     time_construction,
 )
-from repro.evaluation.harness import measure_accuracy, run_experiment
+from repro.baselines import GKMVSearchIndex
+from repro.datasets import build_dynamic_workload
+from repro.evaluation.harness import (
+    evaluate_dynamic_stream,
+    measure_accuracy,
+    run_dynamic_experiment,
+    run_experiment,
+)
 
 
 class TestGroundTruth:
@@ -107,3 +114,55 @@ class TestReporting:
         assert headers == ["space", "f1", "recall"]
         assert rows[0][0] == "5%"
         assert rows[1][2] != rows[1][2]  # NaN for the missing metric
+
+
+class TestEvaluateDynamicStream:
+    def test_full_budget_gbkmv_is_perfect_on_mixed_stream(self, zipf_records):
+        workload = build_dynamic_workload(
+            zipf_records[:200], threshold=0.5, num_operations=150, seed=9
+        )
+        index = GBKMVIndex.build(list(workload.initial_records), space_fraction=1.0)
+        evaluation = evaluate_dynamic_stream("GB-KMV", index, workload)
+        assert evaluation.accuracy.f1 == 1.0
+        assert evaluation.accuracy.precision == 1.0
+        assert evaluation.accuracy.recall == 1.0
+        counts = workload.operation_counts()
+        assert evaluation.num_inserts == counts["insert"]
+        assert evaluation.num_deletes == counts["delete"]
+        assert evaluation.num_queries == counts["query"]
+        assert evaluation.num_operations == workload.num_operations
+        assert evaluation.total_seconds > 0.0
+        assert evaluation.space_in_values > 0.0
+
+    def test_mismatched_initial_corpus_rejected(self, zipf_records):
+        workload = build_dynamic_workload(
+            zipf_records[:100], threshold=0.5, num_operations=60, seed=4
+        )
+        # One record short: the first insert id the searcher assigns is off
+        # by one, which the harness must flag instead of mis-scoring.
+        short = list(workload.initial_records)[:-1]
+        index = GBKMVIndex.build(short, space_fraction=1.0)
+        if workload.operation_counts()["insert"]:
+            with pytest.raises(ConfigurationError):
+                evaluate_dynamic_stream("GB-KMV", index, workload)
+
+    def test_run_dynamic_experiment_builds_every_method(self, zipf_records):
+        workload = build_dynamic_workload(
+            zipf_records[:120], threshold=0.5, num_operations=60, seed=6
+        )
+        evaluations = run_dynamic_experiment(
+            workload,
+            {
+                "GB-KMV": lambda records: GBKMVIndex.build(records, space_fraction=1.0),
+                "G-KMV": lambda records: GKMVSearchIndex.build(records, space_fraction=1.0),
+            },
+        )
+        assert set(evaluations) == {"GB-KMV", "G-KMV"}
+        for evaluation in evaluations.values():
+            assert evaluation.num_operations == 60
+            assert 0.0 <= evaluation.accuracy.f1 <= 1.0
+
+    def test_dynamic_searcher_protocol(self):
+        from repro.evaluation import DynamicSearcher
+
+        assert isinstance(GBKMVIndex.build([["a", "b"]], space_fraction=1.0), DynamicSearcher)

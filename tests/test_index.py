@@ -8,7 +8,6 @@ import pytest
 from repro._errors import ConfigurationError, EmptyDatasetError
 from repro.core import GBKMVIndex, GBKMVSketch
 from repro.exact import BruteForceSearcher
-from repro.hashing import UnitHash
 
 
 class TestBuild:

@@ -107,3 +107,56 @@ class TestGKMVSearchIndex:
             return sum(scores) / len(scores)
 
         assert average_f1(gkmv) >= average_f1(kmv) - 0.05
+
+
+class TestDynamicAPI:
+    """Both baselines expose the same insert/delete/update surface as GBKMVIndex."""
+
+    @pytest.fixture(params=[KMVSearchIndex, GKMVSearchIndex], ids=["kmv", "gkmv"])
+    def index(self, request, zipf_records):
+        return request.param.build(zipf_records[:60], space_fraction=0.5)
+
+    def test_insert_assigns_sequential_ids(self, index):
+        assert index.insert(["n1", "n2", "n3"]) == 60
+        assert index.insert(["n4", "n5"]) == 61
+        assert index.num_records == 62
+
+    def test_inserted_record_is_searchable(self, index):
+        new_id = index.insert(["q1", "q2", "q3", "q4"])
+        hits = {hit.record_id for hit in index.search(["q1", "q2", "q3", "q4"], 0.0)}
+        assert new_id in hits
+
+    def test_delete_removes_record_everywhere(self, index, zipf_records):
+        index.delete(7)
+        query = zipf_records[7]
+        assert 7 not in {hit.record_id for hit in index.search(query, 0.0)}
+        assert 7 not in {
+            hit.record_id for hit in index.search_many([query], 0.0)[0]
+        }
+        assert index.num_records == 59
+
+    def test_delete_unknown_or_double_raises(self, index):
+        with pytest.raises(ConfigurationError):
+            index.delete(1000)
+        index.delete(3)
+        with pytest.raises(ConfigurationError):
+            index.delete(3)
+
+    def test_update_keeps_id(self, index):
+        assert index.update(10, ["u1", "u2", "u3"]) == 10
+        assert index.num_records == 60
+        assert 10 in {hit.record_id for hit in index.search(["u1", "u2", "u3"], 0.0)}
+
+    def test_empty_mutations_rejected(self, index):
+        with pytest.raises(ConfigurationError):
+            index.insert([])
+        with pytest.raises(ConfigurationError):
+            index.update(0, [])
+
+    def test_surviving_scores_unchanged_by_delete(self, index, zipf_records):
+        query = zipf_records[20]
+        before = {hit.record_id: hit.score for hit in index.search(query, 0.0)}
+        index.delete(41)
+        after = {hit.record_id: hit.score for hit in index.search(query, 0.0)}
+        del before[41]
+        assert after == before

@@ -1,0 +1,130 @@
+"""Snapshot persistence tests: save → load must round-trip exactly.
+
+The contract is bitwise: a persisted-then-loaded index answers
+``search_many`` with float-for-float identical scores, because the
+snapshot carries the exact stored hash values, the vocabulary, the
+threshold and the hasher seed — everything the estimator arithmetic
+consumes.  The workload mirrors the paper's Figure-17 setup (queries
+drawn uniformly from the dataset, threshold 0.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.baselines.kmv_search import GKMVSearchIndex, KMVSearchIndex
+from repro.core import GBKMVIndex
+from repro.datasets import sample_queries
+
+
+def _flatten(results):
+    return [[(hit.record_id, hit.score) for hit in hits] for hits in results]
+
+
+@pytest.fixture
+def fig17_workload(zipf_records):
+    """Fig-17-style queries: drawn uniformly from the dataset, t* = 0.5."""
+    queries, _ids = sample_queries(zipf_records, num_queries=25, seed=13)
+    return queries
+
+
+class TestGBKMVIndexRoundTrip:
+    def test_search_many_scores_bitwise_identical(
+        self, zipf_records, fig17_workload, tmp_path
+    ):
+        index = GBKMVIndex.build(zipf_records, space_fraction=0.1)
+        path = tmp_path / "gbkmv.npz"
+        index.save(path)
+        loaded = GBKMVIndex.load(path)
+        original = index.search_many(fig17_workload, threshold=0.5)
+        restored = loaded.search_many(fig17_workload, threshold=0.5)
+        assert _flatten(original) == _flatten(restored)
+
+    def test_parameters_survive(self, zipf_records, tmp_path):
+        index = GBKMVIndex.build(zipf_records[:100], space_fraction=0.15)
+        path = tmp_path / "gbkmv.npz"
+        index.save(path)
+        loaded = GBKMVIndex.load(path)
+        assert loaded.threshold == index.threshold
+        assert loaded.budget == index.budget
+        assert loaded.hasher == index.hasher
+        assert loaded.vocabulary == index.vocabulary
+        assert loaded.num_records == index.num_records
+        assert loaded.space_in_values() == index.space_in_values()
+
+    def test_round_trip_after_mutations(self, zipf_records, fig17_workload, tmp_path):
+        index = GBKMVIndex.build(zipf_records, space_fraction=0.2, buffer_size=8)
+        index.insert(zipf_records[3])
+        index.delete(7)
+        index.update(11, zipf_records[5])
+        path = tmp_path / "gbkmv.npz"
+        index.save(path)
+        loaded = GBKMVIndex.load(path)
+        assert _flatten(index.search_many(fig17_workload, 0.5)) == _flatten(
+            loaded.search_many(fig17_workload, 0.5)
+        )
+
+    def test_loaded_index_stays_dynamic(self, tiny_records, tmp_path):
+        index = GBKMVIndex.build(tiny_records, space_fraction=1.0, buffer_size=2)
+        path = tmp_path / "gbkmv.npz"
+        index.save(path)
+        loaded = GBKMVIndex.load(path)
+        new_id = loaded.insert(["p1", "p2", "p3"])
+        assert new_id == len(tiny_records)
+        loaded.delete(0)
+        hits = {hit.record_id for hit in loaded.search(["p1", "p2", "p3"], 0.9)}
+        assert new_id in hits
+
+    def test_integer_element_vocabulary_round_trips(self, zipf_records, tmp_path):
+        # zipf records hold numpy integers; the snapshot must bring the
+        # vocabulary back as plain ints that hash identically.
+        index = GBKMVIndex.build(zipf_records[:80], space_fraction=0.3, buffer_size=16)
+        path = tmp_path / "gbkmv.npz"
+        index.save(path)
+        loaded = GBKMVIndex.load(path)
+        assert [int(e) for e in loaded.vocabulary.elements] == [
+            int(e) for e in index.vocabulary.elements
+        ]
+
+    def test_version_mismatch_rejected(self, tiny_records, tmp_path):
+        import json
+
+        index = GBKMVIndex.build(tiny_records, space_fraction=1.0)
+        path = tmp_path / "gbkmv.npz"
+        index.save(path)
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        meta = json.loads(str(arrays["index_meta"][()]))
+        meta["format_version"] = 99
+        arrays["index_meta"] = np.array(json.dumps(meta))
+        bad_path = tmp_path / "bad.npz"
+        np.savez_compressed(bad_path, **arrays)
+        with pytest.raises(ConfigurationError):
+            GBKMVIndex.load(bad_path)
+
+
+class TestBaselineRoundTrips:
+    def test_kmv_search_bitwise_identical(self, zipf_records, fig17_workload, tmp_path):
+        index = KMVSearchIndex.build(zipf_records, space_fraction=0.1)
+        index.insert(zipf_records[2])
+        index.delete(5)
+        path = tmp_path / "kmv.npz"
+        index.save(path)
+        loaded = KMVSearchIndex.load(path)
+        assert loaded.k_per_record == index.k_per_record
+        assert loaded.num_records == index.num_records
+        assert _flatten(index.search_many(fig17_workload, 0.5)) == _flatten(
+            loaded.search_many(fig17_workload, 0.5)
+        )
+
+    def test_gkmv_search_bitwise_identical(self, zipf_records, fig17_workload, tmp_path):
+        index = GKMVSearchIndex.build(zipf_records, space_fraction=0.1)
+        path = tmp_path / "gkmv.npz"
+        index.save(path)
+        loaded = GKMVSearchIndex.load(path)
+        assert loaded.threshold == index.threshold
+        assert _flatten(index.search_many(fig17_workload, 0.5)) == _flatten(
+            loaded.search_many(fig17_workload, 0.5)
+        )
