@@ -33,7 +33,13 @@ import numpy as np
 
 from repro._errors import ConfigurationError, EmptyDatasetError
 from repro.core.batched import KMVBatchEstimator
-from repro.core.index import GBKMVIndex, SearchResult, results_from_scores
+from repro.core.index import (
+    GBKMVIndex,
+    SearchResult,
+    _assemble_workload_results,
+    _resolve_row_block_size,
+    results_from_scores,
+)
 from repro.hashing import UnitHash
 
 #: Version tag written into KMV snapshots.
@@ -326,26 +332,83 @@ class KMVSearchIndex:
         queries: Sequence[Iterable[object]],
         threshold: float,
         query_sizes: Sequence[int] | None = None,
+        row_block_size: int | None = None,
     ) -> list[list[SearchResult]]:
         """Batched containment search: same results as looping :meth:`search`.
 
-        The dense estimator matrix is already a one-off cache, so the
-        batched entry point only validates the workload and reuses the
-        single-query path — no behavior can drift between the two.
+        Runs the fused multi-query Equation-10 path: every query's sketch
+        values are resolved against all records' values in one join-index
+        pass, and the records are swept in blocks of ``row_block_size``
+        (peak memory ``O(B × block)``).  Estimates — and therefore hits,
+        scores and ordering — are bit-identical to the per-query path.
         """
         if not 0.0 <= threshold <= 1.0:
             raise ConfigurationError("threshold must be in [0, 1]")
         if query_sizes is not None and len(query_sizes) != len(queries):
             raise ConfigurationError("query_sizes must be parallel to queries")
-        self._finalize()
-        return [
-            self.search(
-                query,
-                threshold,
-                query_size=None if query_sizes is None else query_sizes[position],
+        if not queries:
+            return []
+        estimator = self._finalize()
+        block = _resolve_row_block_size(row_block_size)
+
+        num_queries = len(queries)
+        value_rows: list[np.ndarray] = []
+        hash_counts = np.zeros(num_queries, dtype=np.int64)
+        sizes = np.zeros(num_queries, dtype=np.float64)
+        for position, query in enumerate(queries):
+            query_elements = set(query)
+            if not query_elements:
+                raise ConfigurationError("query must contain at least one element")
+            q = (
+                len(query_elements)
+                if query_sizes is None
+                else int(query_sizes[position])
             )
-            for position, query in enumerate(queries)
-        ]
+            if q <= 0:
+                raise ConfigurationError("query_size must be positive")
+            values, hash_count = self._query_values(query_elements)
+            value_rows.append(values)
+            hash_counts[position] = hash_count
+            sizes[position] = q
+        value_counts = np.fromiter(
+            (values.size for values in value_rows), dtype=np.int64, count=num_queries
+        )
+        query_exact = value_counts >= hash_counts
+        query_matrix = np.full(
+            (num_queries, max(int(value_counts.max()), 1)), np.inf, dtype=np.float64
+        )
+        for position, values in enumerate(value_rows):
+            query_matrix[position, : values.size] = values
+
+        matches = estimator.match_workload(value_rows)
+        theta = threshold * sizes
+        num_records = estimator.num_records
+        hit_query_chunks: list[np.ndarray] = []
+        hit_id_chunks: list[np.ndarray] = []
+        hit_score_chunks: list[np.ndarray] = []
+        for row_lo in range(0, num_records, block):
+            row_hi = min(row_lo + block, num_records)
+            estimates = estimator.intersection_workload_block(
+                query_matrix, value_counts, query_exact, matches, row_lo, row_hi
+            )
+            if threshold > 0.0:
+                hits = estimates >= theta[:, np.newaxis] * (1.0 - 1e-12)
+            else:
+                hits = np.ones(estimates.shape, dtype=bool)
+            hit_queries, hit_cols = np.nonzero(hits)
+            if not hit_queries.size:
+                continue
+            rows = hit_cols + row_lo
+            hit_query_chunks.append(hit_queries)
+            hit_id_chunks.append(
+                rows if self._live_ids is None else self._live_ids[rows]
+            )
+            hit_score_chunks.append(
+                estimates[hit_queries, hit_cols] / sizes[hit_queries]
+            )
+        return _assemble_workload_results(
+            num_queries, hit_query_chunks, hit_id_chunks, hit_score_chunks
+        )
 
 
 class GKMVSearchIndex:
@@ -450,6 +513,14 @@ class GKMVSearchIndex:
         queries: Sequence[Iterable[object]],
         threshold: float,
         query_sizes: Sequence[int] | None = None,
+        row_block_size: int | None = None,
+        kernels: str = "fused",
     ) -> list[list[SearchResult]]:
-        """Batched containment search through the inner GB-KMV engine."""
-        return self._inner.search_many(queries, threshold, query_sizes=query_sizes)
+        """Batched containment search through the inner fused GB-KMV engine."""
+        return self._inner.search_many(
+            queries,
+            threshold,
+            query_sizes=query_sizes,
+            row_block_size=row_block_size,
+            kernels=kernels,
+        )

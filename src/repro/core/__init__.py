@@ -51,7 +51,13 @@ from repro.core.batched import (
     residual_intersection_estimates,
     residual_union_estimates,
 )
-from repro.core.index import GBKMVIndex, IndexStatistics, SearchResult
+from repro.core.index import (
+    DEFAULT_ROW_BLOCK_SIZE,
+    GBKMVIndex,
+    IndexStatistics,
+    SearchResult,
+    WorkloadExecutionStats,
+)
 
 __all__ = [
     "BatchEstimator",
@@ -78,4 +84,6 @@ __all__ = [
     "residual_threshold",
     "GBKMVIndex",
     "SearchResult",
+    "DEFAULT_ROW_BLOCK_SIZE",
+    "WorkloadExecutionStats",
 ]

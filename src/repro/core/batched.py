@@ -7,7 +7,12 @@ the *same* formulas for one query against every record of a columnar
 store at once, using vectorised merges instead of per-pair Python calls.
 They are the estimator layer the batched query engine
 (:meth:`~repro.core.index.GBKMVIndex.search_many` and the baselines in
-:mod:`repro.baselines.kmv_search`) is built on.
+:mod:`repro.baselines.kmv_search`) is built on.  For whole workloads,
+:class:`KMVBatchEstimator` additionally offers a *fused* multi-query
+Equation-10 path (:meth:`KMVBatchEstimator.match_workload` +
+:meth:`KMVBatchEstimator.intersection_workload_block`) mirroring the
+columnar store's fused kernels: one join-index pass for every query at
+once, blocked over record rows.
 
 Bitwise fidelity is a hard requirement, not an aspiration: every function
 reproduces the corresponding scalar estimator's branch structure (exact
@@ -30,12 +35,13 @@ Conventions
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from repro._errors import ConfigurationError
-from repro.core.store import ColumnarSketchStore
+from repro.core.store import ColumnarSketchStore, match_sorted_run
 
 
 @runtime_checkable
@@ -301,6 +307,25 @@ class GKMVBatchEstimator:
         )
 
 
+@dataclass(frozen=True)
+class KMVWorkloadMatches:
+    """All (query, stored sketch value) matches of a KMV workload, row-sorted.
+
+    The plain-KMV analogue of the columnar store's
+    :class:`~repro.core.store.WorkloadMatches`, with the matched values
+    carried along (Equation 10 needs them for the ``U(k)`` cut-off).
+    """
+
+    #: Number of queries ``B`` in the workload.
+    num_queries: int
+    #: Record row of each matched occurrence, sorted ascending.
+    rows: np.ndarray
+    #: Query id of each matched occurrence, parallel to ``rows``.
+    query_ids: np.ndarray
+    #: Matched sketch value of each occurrence, parallel to ``rows``.
+    values: np.ndarray
+
+
 class KMVBatchEstimator:
     """Batched plain-KMV estimators over a dense padded value matrix."""
 
@@ -313,6 +338,10 @@ class KMVBatchEstimator:
         self._matrix = np.asarray(record_matrix, dtype=np.float64)
         self._row_counts = np.asarray(row_counts, dtype=np.int64)
         self._record_sizes = np.asarray(record_sizes, dtype=np.int64)
+        # Value→record join index over the finite matrix entries, built
+        # lazily for the fused multi-query path.
+        self._join_values: np.ndarray | None = None
+        self._join_rows: np.ndarray | None = None
 
     @classmethod
     def from_value_rows(
@@ -371,3 +400,137 @@ class KMVBatchEstimator:
         return containment_from_intersections(
             self.intersection_many(query_values, query_record_size), query_size
         )
+
+    # ------------------------------------------------- fused workload kernels
+    def _join_index(self) -> tuple[np.ndarray, np.ndarray]:
+        """Every finite sketch value, sorted, with its record row alongside."""
+        if self._join_values is None or self._join_rows is None:
+            finite = np.isfinite(self._matrix)
+            values = self._matrix[finite]
+            rows = np.repeat(
+                np.arange(self._matrix.shape[0], dtype=np.int64),
+                finite.sum(axis=1),
+            )
+            order = np.argsort(values, kind="stable")
+            self._join_values = values[order]
+            self._join_rows = rows[order]
+        return self._join_values, self._join_rows
+
+    def match_workload(
+        self, queries_values: Sequence[np.ndarray]
+    ) -> KMVWorkloadMatches:
+        """Resolve every query's values against all sketches in one fused pass.
+
+        One concatenated ``searchsorted`` run over the join index — no
+        per-query Python iteration — returning the (query, row, value)
+        matches sorted by row so :meth:`intersection_workload_block` can
+        slice any row range.  Shares
+        :func:`~repro.core.store.match_sorted_run` with the columnar
+        store's workload kernels.
+        """
+        join_values, join_rows = self._join_index()
+        match_qids, match_rows, match_values = match_sorted_run(
+            join_values, join_rows, queries_values
+        )
+        return KMVWorkloadMatches(
+            len(queries_values), match_rows, match_qids, match_values
+        )
+
+    def intersection_workload_block(
+        self,
+        query_matrix: np.ndarray,
+        query_counts: np.ndarray,
+        query_exact: np.ndarray,
+        matches: KMVWorkloadMatches,
+        row_lo: int = 0,
+        row_hi: int | None = None,
+    ) -> np.ndarray:
+        """Equation 10 for every (query, record) pair in a block of rows.
+
+        The fused multi-query counterpart of
+        :func:`kmv_intersection_estimates`: estimates are bit-identical
+        per pair, but the common counts come from the precomputed match
+        run (one flat ``bincount``) and the union sort covers the whole
+        block's formula pairs at once.  Pairs with no shared value
+        estimate to exactly ``0.0`` down both branches, so they skip the
+        union sort entirely.
+
+        Parameters
+        ----------
+        query_matrix:
+            Dense ``(B, q_max)`` matrix of per-query sketch values, each
+            row sorted ascending and padded with ``+inf``.
+        query_counts:
+            Number of real (non-padding) values per query.
+        query_exact:
+            Whether each query sketch retains every hash value of its
+            query.
+        matches:
+            Output of :meth:`match_workload` for the same workload.
+        row_lo, row_hi:
+            The block of record rows to score (defaults to all rows).
+        """
+        if row_hi is None:
+            row_hi = int(self._matrix.shape[0])
+        block = row_hi - row_lo
+        num_queries = matches.num_queries
+        lo = int(np.searchsorted(matches.rows, row_lo, side="left"))
+        hi = int(np.searchsorted(matches.rows, row_hi, side="left"))
+        common = np.zeros((num_queries, block), dtype=np.int64)
+        if hi > lo:
+            flat = matches.query_ids[lo:hi] * block + (matches.rows[lo:hi] - row_lo)
+            common = (
+                np.bincount(flat, minlength=num_queries * block)
+                .reshape(num_queries, block)
+                .astype(np.int64, copy=False)
+            )
+        row_counts = self._row_counts[row_lo:row_hi]
+        record_sizes = self._record_sizes[row_lo:row_hi]
+        query_counts = np.asarray(query_counts, dtype=np.int64)
+        k = np.minimum(row_counts[np.newaxis, :], query_counts[:, np.newaxis])
+        record_exact = row_counts >= record_sizes
+        use_common = (
+            np.asarray(query_exact, dtype=bool)[:, np.newaxis]
+            & record_exact[np.newaxis, :]
+        ) | (k < 2)
+        estimates = np.zeros((num_queries, block), dtype=np.float64)
+        estimates[use_common] = common[use_common]
+
+        needs_formula = ~use_common & (common > 0)
+        if np.any(needs_formula):
+            pair_queries, pair_cols = np.nonzero(needs_formula)
+            num_pairs = pair_queries.size
+            combined = np.concatenate(
+                [
+                    self._matrix[row_lo:row_hi][pair_cols],
+                    np.asarray(query_matrix, dtype=np.float64)[pair_queries],
+                ],
+                axis=1,
+            )
+            merged = np.sort(combined, axis=1)
+            distinct = np.ones(merged.shape, dtype=bool)
+            distinct[:, 1:] = merged[:, 1:] != merged[:, :-1]
+            distinct &= np.isfinite(merged)
+            ranks = np.cumsum(distinct, axis=1)
+            k_pairs = k[pair_queries, pair_cols]
+            column = (ranks < k_pairs[:, np.newaxis]).sum(axis=1)
+            u_k = merged[np.arange(num_pairs), column]
+            # K∩ = shared values at or below U(k), counted straight off the
+            # match run: scatter each pair to its position, then bincount
+            # the occurrences that survive the cut-off.
+            pair_position = np.full((num_queries, block), -1, dtype=np.int64)
+            pair_position[pair_queries, pair_cols] = np.arange(
+                num_pairs, dtype=np.int64
+            )
+            positions = pair_position[
+                matches.query_ids[lo:hi], matches.rows[lo:hi] - row_lo
+            ]
+            in_formula = positions >= 0
+            positions = positions[in_formula]
+            within = matches.values[lo:hi][in_formula] <= u_k[positions]
+            k_cap = np.bincount(positions[within], minlength=num_pairs).astype(
+                np.float64
+            )
+            k_f = k_pairs.astype(np.float64)
+            estimates[pair_queries, pair_cols] = (k_cap / k_f) * ((k_f - 1.0) / u_k)
+        return estimates

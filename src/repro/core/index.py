@@ -44,7 +44,7 @@ import base64
 import json
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, NamedTuple, Sequence
 
 import numpy as np
 
@@ -62,9 +62,12 @@ from repro.core.store import ColumnarSketchStore
 from repro.hashing import UnitHash
 
 
-@dataclass(frozen=True)
-class SearchResult:
+class SearchResult(NamedTuple):
     """One hit of a containment similarity search.
+
+    A ``NamedTuple`` rather than a dataclass: result lists run to tens of
+    thousands of hits per workload, and tuple construction is what keeps
+    materialising them off the query-engine profile.
 
     Attributes
     ----------
@@ -89,6 +92,90 @@ class IndexStatistics:
     space_in_values: float
     space_fraction: float
     budget_in_values: float
+
+
+#: Default number of physical rows a fused workload pass scores per block.
+#: Peak intermediate memory of :meth:`GBKMVIndex.search_many` is
+#: ``O(num_queries × row_block_size)`` — independent of the store size.
+DEFAULT_ROW_BLOCK_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class WorkloadExecutionStats:
+    """Observed footprint of one fused workload pass (for benchmarks/tests).
+
+    ``peak_block_cells`` is the largest ``(B, block)`` matrix the engine
+    actually materialised; ``dense_cells`` is the ``(B, num_rows)`` matrix
+    an unblocked engine would have allocated.  ``estimator_pairs`` counts
+    the (query, row) pairs that reached the Equation-25 estimator after
+    zero-count/zero-overlap candidate pruning; ``hit_pairs`` the pairs
+    that were finally emitted as results.
+    """
+
+    num_queries: int
+    num_rows: int
+    row_block_size: int
+    num_blocks: int
+    peak_block_cells: int
+    dense_cells: int
+    estimator_pairs: int
+    hit_pairs: int
+
+
+def _resolve_row_block_size(row_block_size: int | None) -> int:
+    if row_block_size is None:
+        return DEFAULT_ROW_BLOCK_SIZE
+    block = int(row_block_size)
+    if block <= 0:
+        raise ConfigurationError("row_block_size must be positive")
+    return block
+
+
+def _sorted_hits(hit_ids: np.ndarray, hit_scores: np.ndarray) -> list[SearchResult]:
+    """Order hits by decreasing score, ties by increasing record id."""
+    # Decreasing score, ties by increasing record id (lexsort's last key
+    # is the primary one).  ``_make`` over zipped lists is the cheapest
+    # way to materialise tens of thousands of result tuples.
+    order = np.lexsort((hit_ids, -hit_scores))
+    return list(
+        map(
+            SearchResult._make,
+            zip(hit_ids[order].tolist(), hit_scores[order].tolist()),
+        )
+    )
+
+
+def _assemble_workload_results(
+    num_queries: int,
+    query_chunks: Sequence[np.ndarray],
+    id_chunks: Sequence[np.ndarray],
+    score_chunks: Sequence[np.ndarray],
+) -> list[list[SearchResult]]:
+    """Group per-block hit chunks by query and order each query's hits.
+
+    Chunks arrive in ascending physical-row order (the block sweep), so a
+    stable grouping sort keeps each query's hits row-ordered — exactly
+    the order the dense engine feeds :func:`_sorted_hits`, making the
+    final per-query orderings identical.
+    """
+    if not query_chunks:
+        return [[] for _ in range(num_queries)]
+    query_ids = np.concatenate(query_chunks)
+    hit_ids = np.concatenate(id_chunks)
+    hit_scores = np.concatenate(score_chunks)
+    # One global three-key sort realises every query's (decreasing score,
+    # increasing id) order at once; record ids are unique per query, so
+    # the order is total and identical to a per-query lexsort.
+    order = np.lexsort((hit_ids, -hit_scores, query_ids))
+    query_ids = query_ids[order]
+    hits = list(
+        map(
+            SearchResult._make,
+            zip(hit_ids[order].tolist(), hit_scores[order].tolist()),
+        )
+    )
+    bounds = np.searchsorted(query_ids, np.arange(num_queries + 1)).tolist()
+    return [hits[start:stop] for start, stop in zip(bounds[:-1], bounds[1:])]
 
 
 def results_from_scores(
@@ -124,13 +211,7 @@ def results_from_scores(
         hit_rows = np.nonzero(hit_mask)[0]
     hit_scores = scores[hit_rows] / query_size
     hit_ids = hit_rows if row_ids is None else row_ids[hit_rows]
-    # Decreasing score, ties by increasing record id (lexsort's last key
-    # is the primary one).
-    order = np.lexsort((hit_ids, -hit_scores))
-    return [
-        SearchResult(record_id=record_id, score=score)
-        for record_id, score in zip(hit_ids[order].tolist(), hit_scores[order].tolist())
-    ]
+    return _sorted_hits(hit_ids, hit_scores)
 
 
 def _encode_elements(elements: Sequence[object]) -> list[list[object]]:
@@ -210,6 +291,9 @@ class GBKMVIndex:
         self._hasher = hasher
         self._budget = float(budget)
         self._store = ColumnarSketchStore(signature_bits=vocabulary.size)
+        #: Footprint of the most recent fused workload pass (``search_many``
+        #: / ``top_k_many``), or ``None`` before the first one.
+        self.last_workload_stats: WorkloadExecutionStats | None = None
 
     # ------------------------------------------------------------------ build
     @classmethod
@@ -616,6 +700,56 @@ class GBKMVIndex:
             mask=mask, values=kept, residual_size=residual_size, query_size=q
         )
 
+    def _prepare_workload(
+        self,
+        queries: Sequence[Iterable[object]],
+        query_sizes: Sequence[int] | None,
+    ) -> list[_PreparedQuery]:
+        """Prepare a whole workload, batching the residual hashing.
+
+        Per query this produces exactly what :meth:`_prepare_query` does
+        (hashes are per-element, so hashing all residuals in one call and
+        slicing is value-identical), but the workload pays one
+        ``hash_many`` call instead of one per query.
+        """
+        masks: list[int] = []
+        residuals: list[list[object]] = []
+        sizes: list[int] = []
+        for position, query in enumerate(queries):
+            query_elements = set(query)
+            if not query_elements:
+                raise ConfigurationError("query must contain at least one element")
+            q = (
+                len(query_elements)
+                if query_sizes is None
+                else int(query_sizes[position])
+            )
+            if q <= 0:
+                raise ConfigurationError("query_size must be positive")
+            buffer, residual = self._vocabulary.split_record(query_elements)
+            masks.append(buffer.mask)
+            residuals.append(residual)
+            sizes.append(q)
+        flat = [element for residual in residuals for element in residual]
+        hashes = (
+            self._hasher.hash_many(flat) if flat else np.empty(0, dtype=np.float64)
+        )
+        prepared: list[_PreparedQuery] = []
+        offset = 0
+        for mask, residual, q in zip(masks, residuals, sizes):
+            if residual:
+                values = np.unique(hashes[offset : offset + len(residual)])
+                kept = values[values <= self._threshold]
+                offset += len(residual)
+            else:
+                kept = np.empty(0, dtype=np.float64)
+            prepared.append(
+                _PreparedQuery(
+                    mask=mask, values=kept, residual_size=len(residual), query_size=q
+                )
+            )
+        return prepared
+
     def _score_prepared(self, prepared: _PreparedQuery) -> np.ndarray:
         """Estimated intersection size of one prepared query with every record.
 
@@ -676,15 +810,24 @@ class GBKMVIndex:
         queries: Sequence[Iterable[object]],
         threshold: float,
         query_sizes: Sequence[int] | None = None,
+        row_block_size: int | None = None,
+        kernels: str = "fused",
     ) -> list[list[SearchResult]]:
-        """Batched Algorithm 2: answer a whole workload in one pass.
+        """Batched Algorithm 2: answer a whole workload in one fused pass.
 
         Produces exactly the same hits, scores and ordering as calling
-        :meth:`search` once per query, but prepares the whole workload
-        up front and scores it in one engine pass: residual overlaps go
-        through the store's value→record join index (touching only
-        occurrences shared with each query) and the Equation-25
-        estimator runs once over the ``(queries, records)`` matrix.
+        :meth:`search` once per query.  The default engine is *fused and
+        blocked*: the whole workload's query values are resolved against
+        the store's value→record join index in one ``searchsorted`` +
+        flat-``bincount`` pass, all signature masks are packed into one
+        ``(B, num_words)`` matrix, and the physical rows are swept in
+        blocks of ``row_block_size`` — peak memory is
+        ``O(B × row_block_size)``, never the dense ``(B, num_rows)``
+        score matrix.  Within each block, (query, row) pairs whose
+        signature overlap *and* residual value intersection are both
+        zero are pruned before the Equation-25 estimator pass (their
+        score is provably exactly ``0.0``, so with a positive threshold
+        they can never be hits).
 
         Parameters
         ----------
@@ -695,6 +838,14 @@ class GBKMVIndex:
             shared by the whole workload.
         query_sizes:
             Optional exact query sizes, parallel to ``queries``.
+        row_block_size:
+            Rows scored per block (default
+            :data:`DEFAULT_ROW_BLOCK_SIZE`).  Purely an execution knob:
+            results are bitwise identical for every value.
+        kernels:
+            ``"fused"`` (default) or ``"per-query"`` — the latter runs
+            the historical per-query store kernels over a dense
+            ``(B, num_rows)`` matrix, kept as the benchmark baseline.
 
         Returns
         -------
@@ -705,15 +856,25 @@ class GBKMVIndex:
             raise ConfigurationError("threshold must be in [0, 1]")
         if query_sizes is not None and len(query_sizes) != len(queries):
             raise ConfigurationError("query_sizes must be parallel to queries")
-        prepared = [
-            self._prepare_query(
-                query, None if query_sizes is None else query_sizes[position]
+        if kernels not in ("fused", "per-query"):
+            raise ConfigurationError(
+                f"unknown kernels mode {kernels!r}; use 'fused' or 'per-query'"
             )
-            for position, query in enumerate(queries)
-        ]
+        prepared = self._prepare_workload(queries, query_sizes)
         if not prepared:
             return []
+        if kernels == "per-query":
+            return self._search_many_per_query_kernels(prepared, threshold)
+        return self._search_many_fused(prepared, threshold, row_block_size)
 
+    def _search_many_per_query_kernels(
+        self, prepared: Sequence[_PreparedQuery], threshold: float
+    ) -> list[list[SearchResult]]:
+        """The pre-fusion engine: per-query kernels, dense score matrix.
+
+        Kept verbatim as the benchmark baseline the fused engine is
+        measured (and identity-tested) against.
+        """
         store = self._store
         store.finalize()
         counts = store.intersection_counts_many([p.values for p in prepared])
@@ -739,6 +900,202 @@ class GBKMVIndex:
             for row, p in enumerate(prepared)
         ]
 
+    def _workload_arrays(self, prepared: Sequence[_PreparedQuery]):
+        """Fused-pass inputs: matched occurrences, packed masks, query columns."""
+        store = self._store
+        store.finalize()
+        matches = store.match_workload([p.values for p in prepared])
+        query_words = store.pack_signature_masks([p.mask for p in prepared])
+        num_values = np.array([p.values.size for p in prepared], dtype=np.int64)
+        max_values = np.array([p.max_value for p in prepared], dtype=np.float64)
+        exact = np.array([p.exact for p in prepared], dtype=bool)
+        sizes = np.array([p.query_size for p in prepared], dtype=np.float64)
+        return matches, query_words, num_values, max_values, exact, sizes
+
+    def _sparse_block_estimates(
+        self,
+        matches,
+        num_values: np.ndarray,
+        max_values: np.ndarray,
+        exact: np.ndarray,
+        alive_block: np.ndarray | None,
+        row_lo: int,
+        row_hi: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sparse Equation-25 pass for one block of physical rows.
+
+        Returns ``(query_idx, col_idx, estimates)`` for exactly the live
+        (query, row) pairs with a nonzero residual value intersection —
+        the candidate pruning of the fused engine: pairs with ``K∩ = 0``
+        estimate to exactly ``0.0`` down every branch of Eq. 25, so
+        skipping them is bit-identical to the unpruned dense pass.  This
+        is the single home of the estimator invocation both fused entry
+        points (``search_many``, ``top_k_many``) share.
+        """
+        store = self._store
+        query_idx, col_idx, counts = store.match_counts_block(matches, row_lo, row_hi)
+        if alive_block is not None and query_idx.size:
+            keep = alive_block[col_idx]
+            query_idx, col_idx, counts = query_idx[keep], col_idx[keep], counts[keep]
+        if not query_idx.size:
+            return query_idx, col_idx, np.empty(0, dtype=np.float64)
+        rows = col_idx + row_lo
+        estimates = residual_intersection_estimates(
+            counts,
+            store.row_sizes[rows],
+            store.row_max[rows],
+            store.row_exact[rows],
+            num_values[query_idx],
+            max_values[query_idx],
+            exact[query_idx],
+        )
+        return query_idx, col_idx, estimates
+
+    def _block_scores(
+        self,
+        matches,
+        query_words: np.ndarray,
+        num_values: np.ndarray,
+        max_values: np.ndarray,
+        exact: np.ndarray,
+        alive_block: np.ndarray | None,
+        row_lo: int,
+        row_hi: int,
+    ) -> tuple[np.ndarray, int]:
+        """Dense scores of every (query, row) pair in one block of rows.
+
+        Returns ``(scores, estimator_pairs)``: ``scores`` is the
+        ``(B, block)`` float matrix, bit-identical to the dense engine's
+        slice (popcount overlaps reduced straight into float64 plus the
+        sparse Equation-25 estimates scattered on top), and
+        ``estimator_pairs`` counts the pairs the estimator was actually
+        evaluated on.
+        """
+        scores = self._store.signature_overlap_block(
+            query_words, row_lo, row_hi, dtype=np.float64
+        )
+        query_idx, col_idx, estimates = self._sparse_block_estimates(
+            matches, num_values, max_values, exact, alive_block, row_lo, row_hi
+        )
+        if query_idx.size:
+            scores[query_idx, col_idx] += estimates
+        return scores, int(query_idx.size)
+
+    def _search_many_fused(
+        self,
+        prepared: Sequence[_PreparedQuery],
+        threshold: float,
+        row_block_size: int | None,
+    ) -> list[list[SearchResult]]:
+        """The fused, blocked, pruned workload engine behind :meth:`search_many`."""
+        store = self._store
+        block = _resolve_row_block_size(row_block_size)
+        matches, query_words, num_values, max_values, exact, sizes = (
+            self._workload_arrays(prepared)
+        )
+        num_queries = len(prepared)
+        num_rows = store.num_rows
+        row_ids, alive = store.result_view()
+        theta = threshold * sizes
+
+        hit_query_chunks: list[np.ndarray] = []
+        hit_id_chunks: list[np.ndarray] = []
+        hit_score_chunks: list[np.ndarray] = []
+        num_blocks = 0
+        peak_block = 0
+        estimator_pairs = 0
+        hit_pairs = 0
+        # Integer hit floor: a pair with no residual intersection scores
+        # exactly float(overlap), and overlap is an integer, so the float
+        # test `overlap >= θ·(1 − 1e-12)` is equivalent to the integer
+        # test `overlap >= ceil(θ·(1 − 1e-12))` — which keeps the dense
+        # per-block pass entirely in small integers.  Overlaps never
+        # exceed 64·num_words, so floors are clamped just above it (a
+        # clamped floor means "no signature-only hit possible") and the
+        # narrowest sufficient integer dtype is used.
+        max_overlap = 64 * store.signatures.shape[1]
+        overlap_dtype = np.uint8 if max_overlap + 1 <= 255 else np.int32
+        overlap_floor = np.minimum(
+            np.ceil(theta * (1.0 - 1e-12)), float(max_overlap + 1)
+        ).astype(overlap_dtype)
+        for row_lo in range(0, num_rows, block):
+            row_hi = min(row_lo + block, num_rows)
+            block_width = row_hi - row_lo
+            num_blocks += 1
+            peak_block = max(peak_block, block_width)
+            alive_block = None if alive is None else alive[row_lo:row_hi]
+
+            if threshold > 0.0:
+                # Sparse Equation-25 pass: only pairs sharing a stored value.
+                query_idx, col_idx, estimates = self._sparse_block_estimates(
+                    matches, num_values, max_values, exact,
+                    alive_block, row_lo, row_hi,
+                )
+                estimator_pairs += int(query_idx.size)
+                overlap = store.signature_overlap_block(
+                    query_words, row_lo, row_hi, dtype=overlap_dtype
+                )
+                pair_scores = overlap[query_idx, col_idx].astype(np.float64)
+                pair_scores += estimates
+                hits = overlap >= overlap_floor[:, np.newaxis]
+                if alive_block is not None:
+                    hits &= alive_block[np.newaxis, :]
+                # Estimator pairs get the exact float test on their full
+                # score, overriding the integer floor.
+                pair_hit = pair_scores >= theta[query_idx] * (1.0 - 1e-12)
+                hits[query_idx, col_idx] = pair_hit
+                hit_queries, hit_cols = np.nonzero(hits)
+                if not hit_queries.size:
+                    continue
+                hit_scores = overlap[hit_queries, hit_cols].astype(np.float64)
+                if np.any(pair_hit):
+                    # np.nonzero is row-major, so the flat hit indices are
+                    # ascending — locate each estimator hit by bisection
+                    # and patch in its full (overlap + estimate) score.
+                    flat_hits = hit_queries * block_width + hit_cols
+                    pair_flat = (
+                        query_idx[pair_hit] * block_width + col_idx[pair_hit]
+                    )
+                    positions = np.searchsorted(flat_hits, pair_flat)
+                    hit_scores[positions] = pair_scores[pair_hit]
+            else:
+                # θ = 0 keeps every live pair, so every score is needed:
+                # materialise the block's dense float scores directly.
+                scores, block_estimator_pairs = self._block_scores(
+                    matches, query_words, num_values, max_values, exact,
+                    alive_block, row_lo, row_hi,
+                )
+                estimator_pairs += block_estimator_pairs
+                if alive_block is None:
+                    hits = np.ones(scores.shape, dtype=bool)
+                else:
+                    hits = np.repeat(
+                        alive_block[np.newaxis, :], num_queries, axis=0
+                    )
+                hit_queries, hit_cols = np.nonzero(hits)
+                if not hit_queries.size:
+                    continue
+                hit_scores = scores[hit_queries, hit_cols]
+            hit_pairs += int(hit_queries.size)
+            rows = hit_cols + row_lo
+            hit_query_chunks.append(hit_queries)
+            hit_id_chunks.append(rows if row_ids is None else row_ids[rows])
+            hit_score_chunks.append(hit_scores / sizes[hit_queries])
+
+        self.last_workload_stats = WorkloadExecutionStats(
+            num_queries=num_queries,
+            num_rows=num_rows,
+            row_block_size=block,
+            num_blocks=num_blocks,
+            peak_block_cells=num_queries * peak_block,
+            dense_cells=num_queries * num_rows,
+            estimator_pairs=estimator_pairs,
+            hit_pairs=hit_pairs,
+        )
+        return _assemble_workload_results(
+            num_queries, hit_query_chunks, hit_id_chunks, hit_score_chunks
+        )
+
     def top_k(self, query: Iterable[object], k: int, query_size: int | None = None) -> list[SearchResult]:
         """Return the ``k`` records with the highest estimated containment.
 
@@ -760,3 +1117,93 @@ class GBKMVIndex:
             SearchResult(record_id=int(ids[position]), score=float(candidate_scores[position]))
             for position in order.tolist()
         ]
+
+    def top_k_many(
+        self,
+        queries: Sequence[Iterable[object]],
+        k: int,
+        query_sizes: Sequence[int] | None = None,
+        row_block_size: int | None = None,
+    ) -> list[list[SearchResult]]:
+        """Workload variant of :meth:`top_k` on the fused blocked engine.
+
+        Returns exactly what calling :meth:`top_k` once per query would,
+        but sweeps the rows in blocks of ``row_block_size`` and carries a
+        per-query running top-``k`` (a tournament merge) between blocks —
+        peak memory is ``O(B × (row_block_size + k))``, never the dense
+        ``(B, num_rows)`` score matrix.
+        """
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        if query_sizes is not None and len(query_sizes) != len(queries):
+            raise ConfigurationError("query_sizes must be parallel to queries")
+        prepared = self._prepare_workload(queries, query_sizes)
+        if not prepared:
+            return []
+        store = self._store
+        block = _resolve_row_block_size(row_block_size)
+        matches, query_words, num_values, max_values, exact, sizes = (
+            self._workload_arrays(prepared)
+        )
+        num_queries = len(prepared)
+        num_rows = store.num_rows
+        row_ids, alive = store.result_view()
+
+        # Running top-k per query, maintained in final order (decreasing
+        # score, ties by increasing id).  NaN scores mark tombstoned rows;
+        # they sort last and are dropped at the end.
+        running_scores = np.empty((num_queries, 0), dtype=np.float64)
+        running_ids = np.empty((num_queries, 0), dtype=np.int64)
+        num_blocks = 0
+        peak_block = 0
+        estimator_pairs = 0
+        for row_lo in range(0, num_rows, block):
+            row_hi = min(row_lo + block, num_rows)
+            num_blocks += 1
+            peak_block = max(peak_block, row_hi - row_lo)
+            alive_block = None if alive is None else alive[row_lo:row_hi]
+            scores, block_estimator_pairs = self._block_scores(
+                matches, query_words, num_values, max_values, exact,
+                alive_block, row_lo, row_hi,
+            )
+            estimator_pairs += block_estimator_pairs
+            scores /= sizes[:, np.newaxis]
+            rows = np.arange(row_lo, row_hi, dtype=np.int64)
+            column_ids = rows if row_ids is None else row_ids[rows]
+            if alive_block is not None:
+                scores[:, ~alive_block] = np.nan
+            merged_scores = np.concatenate([running_scores, scores], axis=1)
+            merged_ids = np.concatenate(
+                [running_ids, np.broadcast_to(column_ids, scores.shape)], axis=1
+            )
+            # Two stable axis-1 argsorts realise the (decreasing score,
+            # increasing id) order row-wise: ids first, then scores — NaNs
+            # (dead rows, empty slots) sort to the back of every row.
+            id_order = np.argsort(merged_ids, axis=1, kind="stable")
+            merged_scores = np.take_along_axis(merged_scores, id_order, axis=1)
+            merged_ids = np.take_along_axis(merged_ids, id_order, axis=1)
+            score_order = np.argsort(-merged_scores, axis=1, kind="stable")[:, :k]
+            running_scores = np.take_along_axis(merged_scores, score_order, axis=1)
+            running_ids = np.take_along_axis(merged_ids, score_order, axis=1)
+
+        self.last_workload_stats = WorkloadExecutionStats(
+            num_queries=num_queries,
+            num_rows=num_rows,
+            row_block_size=block,
+            num_blocks=num_blocks,
+            peak_block_cells=num_queries * peak_block,
+            dense_cells=num_queries * num_rows,
+            estimator_pairs=estimator_pairs,
+            hit_pairs=int(np.count_nonzero(~np.isnan(running_scores))),
+        )
+        results: list[list[SearchResult]] = []
+        for position in range(num_queries):
+            hits = [
+                SearchResult(record_id=int(record_id), score=float(score))
+                for record_id, score in zip(
+                    running_ids[position].tolist(), running_scores[position].tolist()
+                )
+                if score == score
+            ]
+            results.append(hits)
+        return results

@@ -38,13 +38,23 @@ batched query engine is built from: whole-dataset intersection counts
 against a sorted query array (a vectorised merge over the CSR arrays),
 popcount-based signature overlaps, and multi-query variants built on the
 value→record join index that touch only the occurrences a query actually
-shares with the dataset.  Kernels are indexed by *physical row*; use
-:meth:`result_view` (or :attr:`row_ids` / :attr:`alive_rows`) to map
-kernel outputs back to record ids when the store has seen deletes.
+shares with the dataset.  The multi-query kernels come in two flavours:
+the historical per-query loops (:meth:`intersection_counts_many`,
+:meth:`signature_overlap_many`, kept as the benchmark baseline) and the
+*fused whole-workload* kernels — :meth:`match_workload` resolves every
+query's values against the join index in one ``searchsorted`` pass, and
+:meth:`intersection_counts_block` / :meth:`signature_overlap_block`
+extract ``(B, block)`` count and overlap matrices for any row range, so
+an engine can sweep a workload over the rows in blocks without ever
+materialising a dense ``(B, num_rows)`` intermediate.  Kernels are
+indexed by *physical row*; use :meth:`result_view` (or :attr:`row_ids` /
+:attr:`alive_rows`) to map kernel outputs back to record ids when the
+store has seen deletes.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -63,6 +73,13 @@ DEFAULT_COMPACT_RATIO = 0.25
 #: Version tag written into snapshots so future layout changes can refuse
 #: (or migrate) old files instead of misreading them.
 SNAPSHOT_VERSION = 1
+
+#: How far an explicitly pinned record id may run ahead of the ids handed
+#: out so far.  The id→row map is a dense int64 column (one vectorised
+#: scatter to rebuild), so wildly sparse ids would silently allocate
+#: id-space-sized memory; :meth:`ColumnarSketchStore.append` rejects them
+#: past this generous margin instead.
+_MAX_ID_GAP = 1 << 20
 
 
 def mask_to_words(mask: int, num_words: int) -> np.ndarray:
@@ -83,6 +100,30 @@ def words_to_mask(words: np.ndarray) -> int:
     for word, value in enumerate(np.asarray(words, dtype=np.uint64)):
         mask |= int(value) << (word * BITS_PER_WORD)
     return mask
+
+
+@dataclass(frozen=True)
+class WorkloadMatches:
+    """All (query, stored occurrence) value matches of a workload, row-sorted.
+
+    Produced by :meth:`ColumnarSketchStore.match_workload` in one fused
+    pass over the value→record join index; consumed by
+    :meth:`ColumnarSketchStore.intersection_counts_block`, which slices
+    the run by physical-row range — ``rows`` is sorted ascending, so a
+    block is one ``searchsorted`` pair away.
+    """
+
+    #: Number of queries ``B`` in the workload.
+    num_queries: int
+    #: Physical row of each matched occurrence, sorted ascending.
+    rows: np.ndarray
+    #: Query id of each matched occurrence, parallel to ``rows``.
+    query_ids: np.ndarray
+
+    @property
+    def num_matches(self) -> int:
+        """Total matched occurrences across the whole workload."""
+        return int(self.rows.size)
 
 
 class ColumnarSketchStore:
@@ -136,8 +177,12 @@ class ColumnarSketchStore:
         self._pending_ids: list[int] = []
         self._pending_dead: list[bool] = []
 
-        # Record-id bookkeeping (live ids only; deleted ids are dropped).
-        self._id_to_row: dict[int, int] = {}
+        # Record-id bookkeeping: a dense id→physical-row column (``-1``
+        # marks absent/deleted ids).  Ids are assigned sequentially and
+        # never reused, so the column stays as dense as the store itself
+        # and every rebuild (compaction, snapshot load) is one vectorised
+        # scatter instead of an O(n) Python dict comprehension.
+        self._id_rows = np.full(0, -1, dtype=np.int64)
         self._next_id = 0
         self._num_dead = 0
         self._dead_values = 0
@@ -164,13 +209,24 @@ class ColumnarSketchStore:
         ``values`` must be sorted ascending and distinct (the natural
         output of ``np.unique`` over kept hash values).  ``record_id``
         pins an explicit id (used by :meth:`replace`); by default ids are
-        assigned sequentially and never reused.
+        assigned sequentially and never reused.  Ids index a dense
+        id→row column, so they must stay reasonably dense: an explicit id
+        far beyond the ids handed out so far is rejected rather than
+        silently allocating id-space-sized memory.
         """
         if record_id is None:
             record_id = self._next_id
         else:
             record_id = int(record_id)
-            if record_id in self._id_to_row:
+            if record_id < 0:
+                raise ConfigurationError("record ids must be non-negative")
+            if record_id > max(self._next_id, self.num_rows) + _MAX_ID_GAP:
+                raise ConfigurationError(
+                    f"record id {record_id} is too sparse for the dense id map "
+                    f"(next sequential id is {self._next_id}; ids may run at "
+                    f"most {_MAX_ID_GAP} ahead of it)"
+                )
+            if self._lookup_row(record_id) is not None:
                 raise ConfigurationError(f"record id {record_id} is already live")
         row = self.num_rows
         self._ids_identity = self._ids_identity and record_id == row
@@ -180,7 +236,13 @@ class ColumnarSketchStore:
         self._pending_record_sizes.append(int(record_size))
         self._pending_ids.append(record_id)
         self._pending_dead.append(False)
-        self._id_to_row[record_id] = row
+        if record_id >= self._id_rows.size:
+            grown = np.full(
+                max(2 * self._id_rows.size, record_id + 1, 16), -1, dtype=np.int64
+            )
+            grown[: self._id_rows.size] = self._id_rows
+            self._id_rows = grown
+        self._id_rows[record_id] = row
         self._next_id = max(self._next_id, record_id + 1)
         self._finalized = False
         return record_id
@@ -197,9 +259,11 @@ class ColumnarSketchStore:
         ConfigurationError
             If ``record_id`` is unknown or already deleted.
         """
-        row = self._id_to_row.pop(int(record_id), None)
+        record_id = int(record_id)
+        row = self._lookup_row(record_id)
         if row is None:
             raise ConfigurationError(f"unknown or deleted record id {record_id}")
+        self._id_rows[record_id] = -1
         base_rows = int(self._record_sizes.size)
         if row < base_rows:
             self._tombstones[row] = True
@@ -372,9 +436,10 @@ class ColumnarSketchStore:
         self._tombstones = np.zeros(int(alive.sum()), dtype=bool)
         self._num_dead = 0
         self._dead_values = 0
-        self._id_to_row = {
-            int(rid): row for row, rid in enumerate(self._row_ids.tolist())
-        }
+        # Vectorised id→row rebuild: every surviving row is live, so one
+        # fill plus one scatter replaces the old per-row dict comprehension.
+        self._id_rows = np.full(max(self._next_id, 16), -1, dtype=np.int64)
+        self._id_rows[self._row_ids] = np.arange(self._row_ids.size, dtype=np.int64)
         self._ids_identity = bool(
             np.array_equal(self._row_ids, np.arange(self._row_ids.size, dtype=np.int64))
         )
@@ -462,11 +527,9 @@ class ColumnarSketchStore:
             store._dead_values = int(
                 np.diff(store._offsets)[store._tombstones].sum()
             )
-        store._id_to_row = {
-            int(rid): row
-            for row, rid in enumerate(store._row_ids.tolist())
-            if not store._tombstones[row]
-        }
+        store._id_rows = np.full(max(next_id, 16), -1, dtype=np.int64)
+        live = ~store._tombstones
+        store._id_rows[store._row_ids[live]] = np.nonzero(live)[0]
         store._ids_identity = bool(
             np.array_equal(
                 store._row_ids, np.arange(store._row_ids.size, dtype=np.int64)
@@ -511,7 +574,11 @@ class ColumnarSketchStore:
         return self.num_records
 
     def __contains__(self, record_id: object) -> bool:
-        return record_id in self._id_to_row
+        try:
+            candidate = int(record_id)  # type: ignore[call-overload]
+        except (TypeError, ValueError):
+            return False
+        return candidate == record_id and self._lookup_row(candidate) is not None
 
     @property
     def total_values(self) -> int:
@@ -614,8 +681,15 @@ class ColumnarSketchStore:
         assert self._row_exact is not None
         return self._row_exact
 
+    def _lookup_row(self, record_id: int) -> int | None:
+        """Physical row of a live record id, or ``None`` when absent."""
+        if not 0 <= record_id < self._id_rows.size:
+            return None
+        row = int(self._id_rows[record_id])
+        return None if row < 0 else row
+
     def _row_of(self, record_id: int) -> int:
-        row = self._id_to_row.get(int(record_id))
+        row = self._lookup_row(int(record_id))
         if row is None:
             raise ConfigurationError(f"unknown or deleted record id {record_id}")
         return row
@@ -726,12 +800,139 @@ class ColumnarSketchStore:
     def intersection_counts_many(
         self, queries_values: Sequence[np.ndarray]
     ) -> np.ndarray:
-        """``|L_Q ∩ L_X|`` for every (query, row) pair, shape ``(B, num_rows)``."""
+        """``|L_Q ∩ L_X|`` for every (query, row) pair, shape ``(B, num_rows)``.
+
+        Per-query loop over :meth:`intersection_counts_join`; kept as the
+        benchmark baseline for the fused :meth:`match_workload` /
+        :meth:`intersection_counts_block` pair.
+        """
         self.finalize()
         counts = np.zeros((len(queries_values), self.num_rows), dtype=np.int64)
         for row, query_values in enumerate(queries_values):
             counts[row] = self.intersection_counts_join(query_values)
         return counts
+
+    # ------------------------------------------------- fused workload kernels
+    def match_workload(self, queries_values: Sequence[np.ndarray]) -> WorkloadMatches:
+        """Resolve a whole workload against the value→record join index at once.
+
+        All queries' sorted values are concatenated into one run carrying
+        a query-id column; a single pair of ``searchsorted`` calls against
+        the join index finds every matched occurrence, and the resulting
+        (query id, physical row) pairs are returned sorted by row so
+        :meth:`intersection_counts_block` can slice any row range without
+        rescanning.  No per-query Python iteration anywhere.
+        """
+        self.finalize()
+        assert self._sorted_values is not None and self._sorted_rows is not None
+        match_qids, match_rows, _values = match_sorted_run(
+            self._sorted_values, self._sorted_rows, queries_values
+        )
+        return WorkloadMatches(len(queries_values), match_rows, match_qids)
+
+    def intersection_counts_block(
+        self,
+        matches: WorkloadMatches,
+        row_lo: int = 0,
+        row_hi: int | None = None,
+    ) -> np.ndarray:
+        """``(B, block)`` intersection counts for physical rows ``[row_lo, row_hi)``.
+
+        One flat ``bincount`` over the row-range slice of the matched
+        pairs; with ``row_hi - row_lo`` bounded, peak memory for a whole
+        workload sweep is ``O(B × block)`` regardless of ``num_rows``.
+        Counts are bit-identical to :meth:`intersection_counts_join` per
+        query (both count the same matched occurrences).
+        """
+        if row_hi is None:
+            row_hi = self.num_rows
+        block = row_hi - row_lo
+        lo = int(np.searchsorted(matches.rows, row_lo, side="left"))
+        hi = int(np.searchsorted(matches.rows, row_hi, side="left"))
+        if hi == lo:
+            return np.zeros((matches.num_queries, block), dtype=np.int64)
+        flat = matches.query_ids[lo:hi] * block + (matches.rows[lo:hi] - row_lo)
+        counts = np.bincount(flat, minlength=matches.num_queries * block)
+        return counts.reshape(matches.num_queries, block).astype(np.int64, copy=False)
+
+    def intersection_counts_fused(
+        self, queries_values: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Fused ``(B, num_rows)`` counts: :meth:`match_workload` + one block."""
+        self.finalize()
+        return self.intersection_counts_block(self.match_workload(queries_values))
+
+    def match_counts_block(
+        self,
+        matches: WorkloadMatches,
+        row_lo: int = 0,
+        row_hi: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sparse intersection counts for rows ``[row_lo, row_hi)``.
+
+        The COO form of :meth:`intersection_counts_block`: returns
+        ``(query_ids, columns, counts)`` for exactly the (query, row)
+        pairs with a nonzero count — columns are block-relative.  Cost is
+        ``O(matches in range)``; nothing dense is touched, which is what
+        lets the engine skip zero-count pairs before the estimator pass.
+        """
+        if row_hi is None:
+            row_hi = self.num_rows
+        block = row_hi - row_lo
+        lo = int(np.searchsorted(matches.rows, row_lo, side="left"))
+        hi = int(np.searchsorted(matches.rows, row_hi, side="left"))
+        empty = np.empty(0, dtype=np.int64)
+        if hi == lo:
+            return empty, empty, empty
+        flat = matches.query_ids[lo:hi] * block + (matches.rows[lo:hi] - row_lo)
+        pairs, counts = np.unique(flat, return_counts=True)
+        return pairs // block, pairs % block, counts.astype(np.int64, copy=False)
+
+    def pack_signature_masks(self, masks: Sequence[int]) -> np.ndarray:
+        """Pack a workload's signature bitmaps into one ``(B, num_words)`` matrix."""
+        words = np.zeros((len(masks), self._num_words), dtype=np.uint64)
+        for row, mask in enumerate(masks):
+            if self._num_words:
+                words[row] = mask_to_words(mask, self._num_words)
+            elif mask:
+                raise ConfigurationError(
+                    "bitmap mask has bits beyond the signature width"
+                )
+        return words
+
+    def signature_overlap_block(
+        self,
+        query_words: np.ndarray,
+        row_lo: int = 0,
+        row_hi: int | None = None,
+        dtype: np.dtype | type = np.int64,
+    ) -> np.ndarray:
+        """``(B, block)`` signature overlaps for physical rows ``[row_lo, row_hi)``.
+
+        One broadcast AND + ``bitwise_count`` reduction over the packed
+        matrices; the ``(B, block, num_words)`` intermediate is why
+        callers sweep the rows in blocks.  Overlaps are bit-identical to
+        :meth:`signature_overlap` per query (integer popcount sums; every
+        value is at most ``64 × num_words``, so reducing straight into
+        ``float64`` — what the scoring engine asks for — is exact too).
+        """
+        self.finalize()
+        if row_hi is None:
+            row_hi = self.num_rows
+        num_queries = int(query_words.shape[0])
+        if self._num_words == 0:
+            return np.zeros((num_queries, row_hi - row_lo), dtype=dtype)
+        block = self._signatures[row_lo:row_hi]
+        if self._num_words == 1:
+            # Single-word signatures (r <= 64): skip the 3-D intermediate,
+            # and hand back the popcount's native uint8 untouched when the
+            # caller asked for it (the engine's integer hit test does).
+            overlap = np.bitwise_count(
+                block[:, 0][np.newaxis, :] & query_words[:, 0][:, np.newaxis]
+            )
+            return overlap.astype(dtype, copy=False)
+        overlap = np.bitwise_count(block[np.newaxis, :, :] & query_words[:, np.newaxis, :])
+        return overlap.sum(axis=2, dtype=dtype)
 
 
 def _merge_sorted_runs(
@@ -765,14 +966,57 @@ def _merge_sorted_runs(
     return merged_values, merged_rows
 
 
+def match_sorted_run(
+    join_values: np.ndarray,
+    join_rows: np.ndarray,
+    queries_values: Sequence[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Match every query's sorted values against a value→row join index.
+
+    The shared fused match pass: all queries' values are concatenated
+    into one run carrying a query-id column, resolved with a single pair
+    of ``searchsorted`` calls, and the matched occurrences are returned
+    as row-sorted parallel ``(query_ids, rows, values)`` arrays.  Both
+    the columnar store's workload kernels and the plain-KMV baseline's
+    fused Equation-10 path are built on this one helper, so their match
+    semantics cannot drift apart.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    empty_values = np.empty(0, dtype=np.float64)
+    num_queries = len(queries_values)
+    if num_queries == 0 or join_values.size == 0:
+        return empty, empty, empty_values
+    arrays = [np.asarray(values, dtype=np.float64) for values in queries_values]
+    lengths = np.fromiter(
+        (values.size for values in arrays), dtype=np.int64, count=num_queries
+    )
+    if not lengths.sum():
+        return empty, empty, empty_values
+    all_values = np.concatenate(arrays)
+    value_qids = np.repeat(np.arange(num_queries, dtype=np.int64), lengths)
+    starts = np.searchsorted(join_values, all_values, side="left")
+    stops = np.searchsorted(join_values, all_values, side="right")
+    matched = _gather_ranges(starts, stops)
+    if not matched.size:
+        return empty, empty, empty_values
+    match_qids = np.repeat(value_qids, stops - starts)
+    match_rows = join_rows[matched]
+    match_values = join_values[matched]
+    order = np.argsort(match_rows, kind="stable")
+    return match_qids[order], match_rows[order], match_values[order]
+
+
 def _gather_ranges(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
-    """Concatenate ``arange(starts[i], stops[i])`` for all i, vectorised."""
+    """Concatenate ``arange(starts[i], stops[i])`` for all i, vectorised.
+
+    ``repeat`` scatters each range's start (rebased so a global ``arange``
+    supplies the within-range offsets) — one pass over the output, no
+    per-position binary search.
+    """
     lengths = stops - starts
     total = int(lengths.sum())
     if total == 0:
         return np.empty(0, dtype=np.int64)
-    cumulative = np.cumsum(lengths)
-    positions = np.arange(total, dtype=np.int64)
-    owner = np.searchsorted(cumulative, positions, side="right")
-    within = positions - (cumulative[owner] - lengths[owner])
-    return starts[owner] + within
+    range_starts = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=range_starts[1:])
+    return np.repeat(starts - range_starts, lengths) + np.arange(total, dtype=np.int64)
