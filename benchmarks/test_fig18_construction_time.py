@@ -5,6 +5,10 @@ single hash function; LSH-E: 256 hash functions, 32 partitions) on every
 proxy dataset and reports the wall-clock construction time.  The paper's
 claim is that GB-KMV builds much faster because it hashes every element
 once instead of 256 times.
+
+GB-KMV is timed through the shipped builder — the vectorised bulk
+construction pipeline — with the historical per-record loop reported
+alongside so the figure shows what the bulk-build PR changed.
 """
 
 from __future__ import annotations
@@ -25,12 +29,16 @@ def _run() -> list[list[object]]:
         GBKMVIndex.build(records, space_fraction=0.10)
         gbkmv_seconds = time.perf_counter() - start
         start = time.perf_counter()
+        GBKMVIndex.build(records, space_fraction=0.10, method="per-record")
+        per_record_seconds = time.perf_counter() - start
+        start = time.perf_counter()
         LSHEnsembleIndex.build(records, num_perm=256, num_partitions=32)
         lshe_seconds = time.perf_counter() - start
         rows.append(
             [
                 name,
                 round(gbkmv_seconds, 3),
+                round(per_record_seconds, 3),
                 round(lshe_seconds, 3),
                 round(lshe_seconds / max(gbkmv_seconds, 1e-9), 1),
             ]
@@ -43,9 +51,11 @@ def test_fig18_construction_time(run_once):
     write_report(
         "fig18_construction_time",
         "Figure 18: sketch construction time (seconds)",
-        ["dataset", "gbkmv_s", "lshe_s", "speedup"],
+        ["dataset", "gbkmv_bulk_s", "gbkmv_per_record_s", "lshe_s", "speedup_vs_lshe"],
         rows,
     )
-    # Shape check: GB-KMV construction is faster on every dataset.
+    # Shape checks: GB-KMV construction is faster than LSH-E on every
+    # dataset, through both the bulk and the per-record builder.
     for row in rows:
-        assert row[1] < row[2]
+        assert row[1] < row[3]
+        assert row[2] < row[3]

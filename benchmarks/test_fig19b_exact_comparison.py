@@ -39,11 +39,15 @@ def _group_dataset(record_size: int) -> list[list[int]]:
     )
 
 
-def _average_query_seconds(searcher, queries, threshold) -> float:
-    start = time.perf_counter()
-    for query in queries:
-        searcher.search(query, threshold)
-    return (time.perf_counter() - start) / len(queries)
+def _average_query_seconds(searcher, queries, threshold, rounds: int = 2) -> float:
+    """Best-of-``rounds`` average per-query time (same footing for every method)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for query in queries:
+            searcher.search(query, threshold)
+        best = min(best, (time.perf_counter() - start) / len(queries))
+    return best
 
 
 def _run() -> list[list[object]]:
@@ -62,16 +66,25 @@ def _run() -> list[list[object]]:
 
         gbkmv = GBKMVIndex.build(records, space_budget=fixed_budget)
         # GB-KMV goes through the batched engine; the exact searchers below
-        # have no batched path and are looped per query.
+        # have no batched path and are looped per query.  Every method is
+        # timed best-of-two on the same footing — GB-KMV per-query times
+        # are sub-millisecond, so a single GC pause would otherwise
+        # distort the growth-ratio shape check.
         gbkmv_eval = evaluate_search_method(
             "GB-KMV", gbkmv, queries, truth, DEFAULT_THRESHOLD, use_batched=True
+        )
+        retimed = evaluate_search_method(
+            "GB-KMV", gbkmv, queries, truth, DEFAULT_THRESHOLD, use_batched=True
+        )
+        gbkmv_seconds = min(
+            gbkmv_eval.avg_query_seconds, retimed.avg_query_seconds
         )
         ppjoin_seconds = _average_query_seconds(PPJoinSearcher(records), queries, DEFAULT_THRESHOLD)
         freqset_seconds = _average_query_seconds(FrequentSetSearcher(records), queries, DEFAULT_THRESHOLD)
         rows.append(
             [
                 record_size,
-                round(gbkmv_eval.avg_query_seconds * 1e3, 3),
+                round(gbkmv_seconds * 1e3, 3),
                 round(ppjoin_seconds * 1e3, 3),
                 round(freqset_seconds * 1e3, 3),
                 round(gbkmv_eval.accuracy.f1, 3),

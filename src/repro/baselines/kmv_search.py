@@ -33,6 +33,7 @@ import numpy as np
 
 from repro._errors import ConfigurationError, EmptyDatasetError
 from repro.core.batched import KMVBatchEstimator
+from repro.core.bulk import bulk_kmv_value_rows, flatten_records, resolve_space_budget
 from repro.core.index import (
     GBKMVIndex,
     SearchResult,
@@ -86,30 +87,65 @@ class KMVSearchIndex:
         space_budget: float | None = None,
         hasher: UnitHash | None = None,
         seed: int = 0,
+        method: str = "bulk",
     ) -> "KMVSearchIndex":
-        """Build the index with the Theorem-1 equal allocation ``k = ⌊b / m⌋``."""
+        """Build the index with the Theorem-1 equal allocation ``k = ⌊b / m⌋``.
+
+        ``method="bulk"`` (default) hashes the whole dataset in one
+        vectorised pass and selects every record's ``k`` smallest values
+        with a global lexsort (:func:`repro.core.bulk.bulk_kmv_value_rows`);
+        ``"per-record"`` is the historical record-at-a-time loop, kept as
+        the benchmark baseline.  Both produce identical sketches.
+        """
+        if method not in ("bulk", "per-record"):
+            raise ConfigurationError(
+                f"unknown construction method {method!r}; use 'bulk' or 'per-record'"
+            )
+        if hasher is None:
+            hasher = UnitHash(seed=seed)
+        if method == "bulk":
+            flat = flatten_records(records)
+            budget = resolve_space_budget(
+                flat.total_elements, space_fraction, space_budget
+            )
+            k = max(int(budget // flat.num_records), 1)
+            index = cls(hasher=hasher, k_per_record=k, budget=budget)
+            index._extend_rows(
+                bulk_kmv_value_rows(flat, hasher, k), flat.record_sizes.tolist()
+            )
+            return index
         materialized = [set(record) for record in records]
         if not materialized:
             raise EmptyDatasetError("cannot build an index over an empty dataset")
         if any(len(record) == 0 for record in materialized):
             raise ConfigurationError("records must be non-empty sets of elements")
-        if hasher is None:
-            hasher = UnitHash(seed=seed)
         total_elements = sum(len(record) for record in materialized)
-        if space_budget is None:
-            if not 0.0 < space_fraction <= 1.0:
-                raise ConfigurationError("space_fraction must be in (0, 1]")
-            budget = space_fraction * total_elements
-        else:
-            if space_budget <= 0:
-                raise ConfigurationError("space_budget must be positive")
-            budget = float(space_budget)
+        budget = resolve_space_budget(
+            total_elements, space_fraction, space_budget
+        )
         k = max(int(budget // len(materialized)), 1)
 
         index = cls(hasher=hasher, k_per_record=k, budget=budget)
         for record in materialized:
             index._add_record(record)
         return index
+
+    def _extend_rows(
+        self, value_rows: list[np.ndarray], record_sizes: list[int]
+    ) -> list[int]:
+        """Append a batch of pre-sketched rows; returns their record ids."""
+        ids = list(range(self._next_id, self._next_id + len(value_rows)))
+        self._value_rows.extend(value_rows)
+        self._record_sizes.extend(record_sizes)
+        self._row_ids.extend(ids)
+        self._alive.extend([True] * len(value_rows))
+        base = len(self._value_rows) - len(value_rows)
+        for position, record_id in enumerate(ids):
+            self._id_to_pos[record_id] = base + position
+        self._next_id += len(value_rows)
+        self._stored_values += int(sum(row.size for row in value_rows))
+        self._estimator = None
+        return ids
 
     def _add_record(self, record: set, record_id: int | None = None) -> int:
         if record_id is None:
@@ -137,6 +173,22 @@ class KMVSearchIndex:
         if not materialized:
             raise ConfigurationError("cannot insert an empty record")
         return self._add_record(materialized)
+
+    def insert_many(self, records: Sequence[Iterable[object]]) -> list[int]:
+        """Batched ingest: sketch and append a whole batch in one bulk pass.
+
+        Record ids and sketch state are identical to looping
+        :meth:`insert`; the batch is hashed and truncated to ``k`` values
+        per record with the vectorised pipeline instead of one
+        ``hash_many`` + ``np.unique`` call per record.
+        """
+        if len(records) == 0:
+            return []
+        flat = flatten_records(records)
+        return self._extend_rows(
+            bulk_kmv_value_rows(flat, self._hasher, self._k),
+            flat.record_sizes.tolist(),
+        )
 
     def delete(self, record_id: int) -> None:
         """Tombstone a record; it disappears from every subsequent search.
@@ -425,6 +477,7 @@ class GKMVSearchIndex:
         space_budget: float | None = None,
         hasher: UnitHash | None = None,
         seed: int = 0,
+        method: str = "bulk",
     ) -> "GKMVSearchIndex":
         """Build G-KMV sketches under the given budget (no frequent-element buffer)."""
         inner = GBKMVIndex.build(
@@ -434,6 +487,7 @@ class GKMVSearchIndex:
             buffer_size=0,
             hasher=hasher,
             seed=seed,
+            method=method,
         )
         return cls(inner)
 
@@ -467,6 +521,10 @@ class GKMVSearchIndex:
     def insert(self, record: Iterable[object]) -> int:
         """Insert a new record under the current global threshold ``τ``."""
         return self._inner.insert(record)
+
+    def insert_many(self, records: Sequence[Iterable[object]]) -> list[int]:
+        """Batched ingest through the inner index's bulk pipeline."""
+        return self._inner.insert_many(records)
 
     def delete(self, record_id: int) -> None:
         """Tombstone a record; it disappears from every subsequent search."""

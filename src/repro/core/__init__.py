@@ -35,11 +35,22 @@ from repro.core.estimators import (
     estimate_intersection,
     intersection_variance,
 )
+from repro.core.bulk import (
+    BulkSketches,
+    FingerprintCollisionError,
+    FlatRecords,
+    bulk_kmv_value_rows,
+    bulk_sketch,
+    flatten_records,
+    select_vocabulary,
+    vocabulary_lookup,
+)
 from repro.core.cost_model import (
     BufferSizing,
     average_variance,
     choose_buffer_size,
     residual_threshold,
+    residual_threshold_from_hashes,
 )
 from repro.core.store import ColumnarSketchStore
 from repro.core.batched import (
@@ -79,9 +90,18 @@ __all__ = [
     "estimate_intersection",
     "intersection_variance",
     "BufferSizing",
+    "BulkSketches",
+    "FingerprintCollisionError",
+    "FlatRecords",
     "average_variance",
+    "bulk_kmv_value_rows",
+    "bulk_sketch",
     "choose_buffer_size",
+    "flatten_records",
     "residual_threshold",
+    "select_vocabulary",
+    "residual_threshold_from_hashes",
+    "vocabulary_lookup",
     "GBKMVIndex",
     "SearchResult",
     "DEFAULT_ROW_BLOCK_SIZE",

@@ -22,6 +22,8 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
 from repro._errors import ConfigurationError, SketchCompatibilityError
 
 #: The paper accounts buffer space as ``r / 32`` "signature units" per
@@ -58,13 +60,27 @@ class FrequentElementVocabulary:
         """Select the ``size`` most frequent elements from a frequency table.
 
         Ties are broken deterministically by the element representation so
-        that vocabulary construction is reproducible.
+        that vocabulary construction is reproducible.  Only the elements
+        that can actually place (count at least the ``size``-th largest,
+        found with one numpy partition) enter the Python comparison sort,
+        so selection stays cheap even over large element universes —
+        while producing exactly the ranking a full sort would.
         """
         if size < 0:
             raise ConfigurationError("vocabulary size must be non-negative")
-        ranked = sorted(
-            frequencies.items(), key=lambda item: (-item[1], repr(item[0]))
-        )
+        items = list(frequencies.items())
+        if 0 < size < len(items):
+            counts = np.fromiter(
+                (count for _element, count in items),
+                dtype=np.float64,
+                count=len(items),
+            )
+            # The size-th largest count: anything strictly below it can
+            # never rank in the top ``size``; ties at the cutoff stay in
+            # and are resolved by the exact comparison sort below.
+            cutoff = np.partition(counts, len(items) - size)[len(items) - size]
+            items = [item for item in items if item[1] >= cutoff]
+        ranked = sorted(items, key=lambda item: (-item[1], repr(item[0])))
         return cls([element for element, _count in ranked[:size]])
 
     @classmethod

@@ -113,10 +113,32 @@ def _pair_variance_grid(
     Returns an array aligned with ``candidates``; infeasible candidates
     (buffer alone over budget, or residual sketch too small for the
     variance formula on some pair) are ``inf``.
+
+    The grid only ever reads prefix sums at candidate positions (all at
+    most the largest candidate ``r``) plus whole-universe totals, so the
+    work splits into a *head* region — the first ``max(candidates)``
+    frequencies, where occurrence probabilities are materialised per
+    distinct record size and prefix-summed exactly — and a *tail* that
+    collapses to closed form: the clamp ``min(f·x/N, 1)`` is the
+    identity beyond each size's clamp boundary ``c(x) = |{f ≥ N/x}|``
+    (frequencies are sorted descending), so every tail total is a
+    weighted suffix sum of ``f`` and ``f²``.  Cost is
+    ``O(F + pairs · max(candidates))`` instead of the original
+    ``O(pairs · F)`` Python pair loop.
+
+    The regrouped float arithmetic is not bit-identical to the old
+    sequential cumsums: grid variances carry low-order-bit differences,
+    and a pair sitting exactly on the ``k ≈ _MIN_K`` branch boundary can
+    flip sides of it.  That is accepted — the grid is a data-dependent
+    *heuristic* for choosing ``r``, both construction paths share
+    whatever it picks, and the identity guarantees of the bulk pipeline
+    are unaffected.
     """
     total_elements = float(freqs.sum())
+    num_freqs = int(freqs.size)
     # Suffix frequency mass left for the residual sketch at each candidate r.
     prefix_freq = np.concatenate([[0.0], np.cumsum(freqs)])
+    prefix_freq_sq = np.concatenate([[0.0], np.cumsum(np.square(freqs))])
     residual_mass = total_elements - prefix_freq[candidates]
 
     buffer_cost = num_records * candidates / BITS_PER_SIGNATURE_UNIT
@@ -127,39 +149,92 @@ def _pair_variance_grid(
         1.0,
     )
 
-    accumulated = np.zeros(candidates.size, dtype=np.float64)
     infeasible = residual_budget <= 0
     covered = residual_mass <= 0  # buffer holds every element: exact answer
-    for size_left, size_right in zip(left, right):
-        p_left = np.minimum(freqs * size_left / total_elements, 1.0)
-        p_right = np.minimum(freqs * size_right / total_elements, 1.0)
-        intersect = p_left * p_right
-        union = p_left + p_right - intersect
-        prefix_intersect = np.concatenate([[0.0], np.cumsum(intersect)])
-        prefix_union = np.concatenate([[0.0], np.cumsum(union)])
-        d_cap = prefix_intersect[-1] - prefix_intersect[candidates]
-        d_cup = prefix_union[-1] - prefix_union[candidates]
-        k = tau * d_cup
+    num_pairs = int(left.size)
+    head = min(int(candidates.max()) if candidates.size else 0, num_freqs)
 
-        variance = np.zeros(candidates.size, dtype=np.float64)
-        usable = (~covered) & (k >= _MIN_K)
-        if np.any(usable):
-            ku = k[usable]
-            dc = d_cap[usable]
-            du = d_cup[usable]
-            numer = dc * (ku * du - ku * ku - du + ku + dc)
-            variance[usable] = np.maximum(numer / (ku * (ku - 2.0)), 0.0) / size_left**2
-        # When the residual sketch is too small for the Equation-11 formula
-        # (k < 3), the estimator effectively misses the residual overlap; the
-        # squared error of that miss, D∩², stands in as the variance so that
-        # starving the G-KMV part of budget is penalised in proportion to the
-        # overlap mass it would be blind to.
-        starved = (~covered) & (k < _MIN_K)
-        if np.any(starved):
-            variance[starved] = np.square(d_cap[starved]) / size_left**2
-        accumulated += variance
+    # The model depends on a pair only through its two record sizes, and
+    # sizes repeat heavily: tabulate per *distinct* size.
+    unique_sizes, size_inverse = np.unique(
+        np.concatenate([left, right]), return_inverse=True
+    )
+    left_index = size_inverse[:num_pairs]
+    right_index = size_inverse[num_pairs:]
+    # Clamp boundary per distinct size: elements with f >= N/x have
+    # occurrence probability exactly 1.  Frequencies are descending, so
+    # the boundary is one searchsorted against the ascending reversal.
+    ascending = freqs[::-1]
+    clamp_bound = num_freqs - np.searchsorted(
+        ascending, total_elements / unique_sizes, side="left"
+    )
+    scale = unique_sizes / total_elements
+    # Σ_j min(f_j·x/N, 1): the clamped ones count 1 each, the rest are a
+    # suffix sum of f scaled by x/N.
+    size_totals = clamp_bound + scale * (
+        total_elements - prefix_freq[clamp_bound]
+    )
 
-    averaged = accumulated / max(len(left), 1)
+    # Head region, exact: per-distinct-size probabilities over the first
+    # ``head`` (hottest) frequencies, then per-pair prefix sums.
+    head_probabilities = np.minimum(
+        unique_sizes[:, np.newaxis] * freqs[np.newaxis, :head] / total_elements, 1.0
+    )
+    p_left = head_probabilities[left_index]
+    p_right = head_probabilities[right_index]
+    intersect = p_left * p_right
+    union = p_left + p_right - intersect
+    zero_column = np.zeros((num_pairs, 1), dtype=np.float64)
+    prefix_intersect = np.concatenate(
+        [zero_column, np.cumsum(intersect, axis=1)], axis=1
+    )
+    prefix_union = np.concatenate([zero_column, np.cumsum(union, axis=1)], axis=1)
+
+    # Whole-universe intersection total in closed form.  With clamp
+    # boundaries c_lo <= c_hi for the pair: below c_lo both sides clamp
+    # (product 1), between them only the smaller-boundary side varies
+    # (a suffix-sum of f scaled by its size), beyond c_hi the product is
+    # f²·x_l·x_r/N² (a suffix sum of f²).
+    bound_left = clamp_bound[left_index]
+    bound_right = clamp_bound[right_index]
+    bound_lo = np.minimum(bound_left, bound_right)
+    bound_hi = np.maximum(bound_left, bound_right)
+    scale_unclamped = np.where(
+        bound_left < bound_right, scale[left_index], scale[right_index]
+    )
+    total_intersect = (
+        bound_lo
+        + scale_unclamped * (prefix_freq[bound_hi] - prefix_freq[bound_lo])
+        + scale[left_index]
+        * scale[right_index]
+        * (prefix_freq_sq[num_freqs] - prefix_freq_sq[bound_hi])
+    )
+    total_union = (
+        size_totals[left_index] + size_totals[right_index] - total_intersect
+    )
+    d_cap = total_intersect[:, np.newaxis] - prefix_intersect[:, candidates]
+    d_cup = total_union[:, np.newaxis] - prefix_union[:, candidates]
+    k = tau[np.newaxis, :] * d_cup
+
+    variance = np.zeros((num_pairs, candidates.size), dtype=np.float64)
+    usable = ~covered[np.newaxis, :] & (k >= _MIN_K)
+    if np.any(usable):
+        ku = k[usable]
+        dc = d_cap[usable]
+        du = d_cup[usable]
+        numer = dc * (ku * du - ku * ku - du + ku + dc)
+        variance[usable] = np.maximum(numer / (ku * (ku - 2.0)), 0.0)
+    # When the residual sketch is too small for the Equation-11 formula
+    # (k < 3), the estimator effectively misses the residual overlap; the
+    # squared error of that miss, D∩², stands in as the variance so that
+    # starving the G-KMV part of budget is penalised in proportion to the
+    # overlap mass it would be blind to.
+    starved = ~covered[np.newaxis, :] & (k < _MIN_K)
+    if np.any(starved):
+        variance[starved] = np.square(d_cap[starved])
+    variance /= np.square(left)[:, np.newaxis]
+
+    averaged = variance.sum(axis=0) / max(num_pairs, 1)
     averaged[infeasible] = INFEASIBLE_VARIANCE
     return averaged
 
@@ -313,6 +388,29 @@ def residual_threshold(
     if np.any(counts <= 0):
         raise ConfigurationError("element frequencies must be positive")
     hashes = hasher.hash_many(elements)
+    return residual_threshold_from_hashes(hashes, counts, residual_budget)
+
+
+def residual_threshold_from_hashes(
+    hashes: np.ndarray,
+    counts: np.ndarray,
+    residual_budget: float,
+) -> float:
+    """:func:`residual_threshold` on pre-computed per-element hash values.
+
+    The bulk construction pipeline already holds every unique residual
+    element's hash value and frequency as arrays; this entry point skips
+    the mapping materialisation and re-hashing.  Semantics (and the
+    returned ``τ``) are identical to :func:`residual_threshold`.
+    """
+    if residual_budget < 0:
+        raise ConfigurationError("residual budget must be non-negative")
+    hashes = np.asarray(hashes, dtype=np.float64)
+    counts = np.asarray(counts, dtype=np.float64)
+    if hashes.size == 0:
+        return 1.0
+    if np.any(counts <= 0):
+        raise ConfigurationError("element frequencies must be positive")
     order = np.argsort(hashes, kind="stable")
     sorted_hashes = hashes[order]
     cumulative = np.cumsum(counts[order])

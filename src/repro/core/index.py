@@ -55,7 +55,20 @@ from repro.core.buffer import (
     FrequentElementBuffer,
     FrequentElementVocabulary,
 )
-from repro.core.cost_model import choose_buffer_size, residual_threshold
+from repro.core.bulk import (
+    FingerprintCollisionError,
+    FlatRecords,
+    bulk_sketch,
+    flatten_records,
+    resolve_space_budget,
+    select_vocabulary,
+    vocabulary_lookup,
+)
+from repro.core.cost_model import (
+    choose_buffer_size,
+    residual_threshold,
+    residual_threshold_from_hashes,
+)
 from repro.core.gbkmv import GBKMVSketch
 from repro.core.gkmv import GKMVSketch
 from repro.core.store import ColumnarSketchStore
@@ -296,6 +309,13 @@ class GBKMVIndex:
         self.last_workload_stats: WorkloadExecutionStats | None = None
 
     # ------------------------------------------------------------------ build
+    @staticmethod
+    def _check_build_method(method: str) -> None:
+        if method not in ("bulk", "per-record"):
+            raise ConfigurationError(
+                f"unknown construction method {method!r}; use 'bulk' or 'per-record'"
+            )
+
     @classmethod
     def build(
         cls,
@@ -306,6 +326,7 @@ class GBKMVIndex:
         hasher: UnitHash | None = None,
         seed: int = 0,
         cost_model_pair_sample: int = 256,
+        method: str = "bulk",
     ) -> "GBKMVIndex":
         """Algorithm 1: construct the GB-KMV index of a dataset.
 
@@ -329,6 +350,91 @@ class GBKMVIndex:
             Seed for the default hasher and the cost model sampling.
         cost_model_pair_sample:
             Number of record pairs the cost model averages over.
+        method:
+            ``"bulk"`` (default) runs the vectorised whole-dataset
+            pipeline of :mod:`repro.core.bulk` — one fingerprint pass,
+            ``np.unique`` frequency counting, bulk signature packing and
+            one staged-batch store append.  ``"per-record"`` is the
+            historical record-at-a-time path, kept verbatim as the
+            benchmark baseline; both produce bitwise-identical indexes.
+        """
+        cls._check_build_method(method)
+        if method == "per-record":
+            return cls._build_per_record(
+                records,
+                space_fraction=space_fraction,
+                space_budget=space_budget,
+                buffer_size=buffer_size,
+                hasher=hasher,
+                seed=seed,
+                cost_model_pair_sample=cost_model_pair_sample,
+            )
+        if hasher is None:
+            hasher = UnitHash(seed=seed)
+        flat = flatten_records(records)
+        record_sizes = flat.record_sizes
+        budget = resolve_space_budget(
+            flat.total_elements, space_fraction, space_budget
+        )
+
+        # np.unique over the per-record-distinct fingerprint column *is*
+        # the Counter of the per-record path: each unique fingerprint's
+        # occurrence count equals its containing-record count.
+        counts = flat.counts
+        if buffer_size == "auto":
+            sizing = choose_buffer_size(
+                record_sizes,
+                counts.astype(np.float64),
+                budget,
+                pair_sample=cost_model_pair_sample,
+                seed=seed,
+            )
+            chosen_r = sizing.buffer_size
+        else:
+            chosen_r = int(buffer_size)
+            if chosen_r < 0:
+                raise ConfigurationError("buffer_size must be non-negative")
+
+        vocabulary = select_vocabulary(flat, chosen_r)
+        buffer_cost = flat.num_records * vocabulary.size / BITS_PER_SIGNATURE_UNIT
+        residual_budget = max(budget - buffer_cost, 0.0)
+        # The vocabulary's elements are exactly representatives of unique
+        # fingerprints, so the residual split over uniques is a
+        # fingerprint-membership mask — no mapping materialisation.
+        lookup = vocabulary_lookup(vocabulary)
+        residual_unique = ~lookup.member_mask(flat.unique_fingerprints)
+        unique_hashes = hasher.hash_fingerprints(flat.unique_fingerprints)
+        threshold = residual_threshold_from_hashes(
+            unique_hashes[residual_unique],
+            counts[residual_unique].astype(np.float64),
+            residual_budget,
+        )
+
+        index = cls(
+            vocabulary=vocabulary,
+            threshold=threshold,
+            hasher=hasher,
+            budget=budget,
+        )
+        index._ingest_bulk(flat, lookup=lookup, unique_hashes=unique_hashes)
+        return index
+
+    @classmethod
+    def _build_per_record(
+        cls,
+        records: Sequence[Iterable[object]],
+        space_fraction: float,
+        space_budget: float | None,
+        buffer_size: int | str,
+        hasher: UnitHash | None,
+        seed: int,
+        cost_model_pair_sample: int,
+    ) -> "GBKMVIndex":
+        """The historical record-at-a-time Algorithm 1 (benchmark baseline).
+
+        Kept verbatim so ``BENCH_bulk_build`` measures the bulk pipeline
+        against the real pre-bulk construction cost, and so the bitwise
+        identity of the two paths stays testable.
         """
         materialized = [set(record) for record in records]
         if not materialized:
@@ -339,15 +445,9 @@ class GBKMVIndex:
             hasher = UnitHash(seed=seed)
 
         record_sizes = np.array([len(r) for r in materialized], dtype=np.int64)
-        total_elements = int(record_sizes.sum())
-        if space_budget is None:
-            if not 0.0 < space_fraction <= 1.0:
-                raise ConfigurationError("space_fraction must be in (0, 1]")
-            budget = space_fraction * total_elements
-        else:
-            if space_budget <= 0:
-                raise ConfigurationError("space_budget must be positive")
-            budget = float(space_budget)
+        budget = resolve_space_budget(
+            int(record_sizes.sum()), space_fraction, space_budget
+        )
 
         frequencies: Counter = Counter()
         for record in materialized:
@@ -395,6 +495,7 @@ class GBKMVIndex:
         threshold: float,
         hasher: UnitHash,
         budget: float,
+        method: str = "bulk",
     ) -> "GBKMVIndex":
         """Sketch a dataset under *pinned* parameters (no cost model).
 
@@ -404,16 +505,23 @@ class GBKMVIndex:
         results — are bitwise identical to what incremental maintenance
         of the original index yields.  Also the baseline the
         ``test_dynamic_store`` benchmark charges for rebuilding from
-        scratch on every batch of insertions.
+        scratch on every batch of insertions; ``method`` picks the bulk
+        pipeline (default) or the historical per-record loop.
         """
+        cls._check_build_method(method)
         index = cls(
             vocabulary=vocabulary, threshold=threshold, hasher=hasher, budget=budget
         )
-        for record in records:
-            materialized = set(record)
-            if not materialized:
-                raise ConfigurationError("records must be non-empty sets of elements")
-            index._add_record(materialized)
+        if method == "bulk":
+            index._ingest_bulk(flatten_records(records))
+        else:
+            for record in records:
+                materialized = set(record)
+                if not materialized:
+                    raise ConfigurationError(
+                        "records must be non-empty sets of elements"
+                    )
+                index._add_record(materialized)
         return index
 
     def _sketch_parts(self, record: set) -> tuple[int, np.ndarray, int]:
@@ -434,6 +542,40 @@ class GBKMVIndex:
             mask=mask,
             residual_record_size=residual_size,
             record_size=len(record),
+        )
+
+    def _ingest_bulk(
+        self, flat: FlatRecords, lookup=None, unique_hashes=None
+    ) -> np.ndarray:
+        """Sketch a flattened batch in bulk and append it in one staged merge.
+
+        Returns the assigned record ids.  Falls back to the per-record
+        path when the vocabulary has an internal fingerprint collision
+        (the one case the bulk membership lookup cannot resolve).
+        """
+        if lookup is None:
+            try:
+                lookup = vocabulary_lookup(self._vocabulary)
+            except FingerprintCollisionError:
+                ids = [
+                    self._add_record(set(flat.record_elements(position)))
+                    for position in range(flat.num_records)
+                ]
+                return np.asarray(ids, dtype=np.int64)
+        sketches = bulk_sketch(
+            flat,
+            lookup,
+            self._threshold,
+            self._hasher,
+            self._store.num_words,
+            unique_hashes=unique_hashes,
+        )
+        return self._store.append_bulk(
+            values=sketches.values,
+            value_lengths=sketches.value_lengths,
+            signatures=sketches.signatures,
+            residual_record_sizes=sketches.residual_record_sizes,
+            record_sizes=sketches.record_sizes,
         )
 
     # ------------------------------------------------------------ introspection
@@ -550,6 +692,26 @@ class GBKMVIndex:
         if not materialized:
             raise ConfigurationError("cannot insert an empty record")
         return self._add_record(materialized)
+
+    def insert_many(self, records: Sequence[Iterable[object]]) -> list[int]:
+        """Batched ingest: insert a whole batch of records in one bulk pass.
+
+        The batch is sketched with the vectorised pipeline of
+        :mod:`repro.core.bulk` (one fingerprint pass, one unique-hash
+        pass, bulk signature packing) and lands in the segmented store
+        through one staged-batch merge — the value→record join index
+        absorbs the whole batch with a single two-run merge.  Record ids,
+        store state and every later search result are identical to
+        looping :meth:`insert` over the batch; the wall-clock cost is
+        what :func:`~repro.core.bulk` removes.
+
+        Returns the assigned record ids, in batch order.  An empty batch
+        is a no-op returning ``[]``.
+        """
+        if len(records) == 0:
+            return []
+        flat = flatten_records(records)
+        return self._ingest_bulk(flat).tolist()
 
     def delete(self, record_id: int) -> None:
         """Delete a record: an O(1) tombstone, invisible to every later search.

@@ -294,6 +294,72 @@ class ColumnarSketchStore:
             record_id=record_id,
         )
 
+    def append_bulk(
+        self,
+        values: np.ndarray,
+        value_lengths: np.ndarray,
+        signatures: np.ndarray,
+        residual_record_sizes: np.ndarray,
+        record_sizes: np.ndarray,
+    ) -> np.ndarray:
+        """Append a whole batch of rows in one staged-batch merge.
+
+        The bulk counterpart of ``N`` :meth:`append` calls followed by a
+        tail absorb — one column concatenation and (when the derived
+        caches exist) one two-run join-index merge for the entire batch,
+        instead of ``N`` Python-level stagings.  The resulting store
+        state is bitwise identical to the looped path.
+
+        ``values`` is the CSR-flattened residual hash column
+        (sorted ascending and distinct within each row), ``value_lengths``
+        the per-row value counts, and ``signatures`` the packed
+        ``(n, num_words)`` uint64 bitmap matrix.  Record ids are assigned
+        sequentially; the batch's ids are returned as an int64 array.
+        """
+        value_lengths = np.ascontiguousarray(value_lengths, dtype=np.int64)
+        num_new = int(value_lengths.size)
+        record_sizes = np.ascontiguousarray(record_sizes, dtype=np.int64)
+        residual_record_sizes = np.ascontiguousarray(
+            residual_record_sizes, dtype=np.int64
+        )
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        signatures = np.ascontiguousarray(signatures, dtype=np.uint64)
+        if (
+            record_sizes.size != num_new
+            or residual_record_sizes.size != num_new
+            or signatures.shape != (num_new, self._num_words)
+        ):
+            raise ConfigurationError("bulk append columns must be parallel")
+        if int(value_lengths.sum()) != values.size:
+            raise ConfigurationError("value_lengths must sum to the value count")
+        if num_new == 0:
+            return np.empty(0, dtype=np.int64)
+        # Absorb staged single appends first so physical row order matches
+        # the order the looped path would have produced.
+        self._absorb_tail()
+        base_rows = self.num_rows
+        ids = np.arange(self._next_id, self._next_id + num_new, dtype=np.int64)
+        self._ids_identity = self._ids_identity and self._next_id == base_rows
+        if int(ids[-1]) >= self._id_rows.size:
+            grown = np.full(
+                max(2 * self._id_rows.size, int(ids[-1]) + 1, 16), -1, dtype=np.int64
+            )
+            grown[: self._id_rows.size] = self._id_rows
+            self._id_rows = grown
+        self._id_rows[ids] = np.arange(base_rows, base_rows + num_new, dtype=np.int64)
+        self._next_id += num_new
+        self._extend_base(
+            values,
+            value_lengths,
+            signatures,
+            record_sizes,
+            residual_record_sizes,
+            ids,
+            np.zeros(num_new, dtype=bool),
+        )
+        self._finalized = False
+        return ids
+
     def _absorb_tail(self) -> None:
         """Merge staged tail rows into the base columns.
 
@@ -308,66 +374,22 @@ class ColumnarSketchStore:
         if not self._pending_values:
             return
         pending_values = self._pending_values
-        base_rows = int(self._record_sizes.size)
         lengths = np.fromiter(
             (arr.size for arr in pending_values), dtype=np.int64, count=len(pending_values)
         )
         tail_values = (
             np.concatenate(pending_values) if lengths.sum() else np.empty(0, dtype=np.float64)
         )
-        self._values = np.concatenate([self._values, tail_values])
-        new_offsets = self._offsets[-1] + np.cumsum(lengths)
-        self._offsets = np.concatenate([self._offsets, new_offsets])
         if self._num_words:
             extra = np.zeros((len(pending_values), self._num_words), dtype=np.uint64)
             for row, mask in enumerate(self._pending_masks):
                 extra[row] = mask_to_words(mask, self._num_words)
-            self._signatures = np.vstack([self._signatures, extra])
         else:
-            self._signatures = np.zeros(
-                (self._signatures.shape[0] + len(pending_values), 0), dtype=np.uint64
-            )
-        self._record_sizes = np.concatenate(
-            [self._record_sizes, np.asarray(self._pending_record_sizes, dtype=np.int64)]
-        )
-        pending_residual = np.asarray(self._pending_residual_sizes, dtype=np.int64)
-        self._residual_record_sizes = np.concatenate(
-            [self._residual_record_sizes, pending_residual]
-        )
-        self._row_ids = np.concatenate(
-            [self._row_ids, np.asarray(self._pending_ids, dtype=np.int64)]
-        )
-        self._tombstones = np.concatenate(
-            [self._tombstones, np.asarray(self._pending_dead, dtype=bool)]
-        )
-
-        if self.incremental_merge:
-            if self._row_max is not None:
-                tail_max = np.zeros(len(pending_values), dtype=np.float64)
-                nonempty = lengths > 0
-                last = self._offsets[base_rows + 1 :] - 1
-                tail_max[nonempty] = self._values[last[nonempty]]
-                self._row_max = np.concatenate([self._row_max, tail_max])
-                self._row_exact = np.concatenate(
-                    [self._row_exact, lengths >= pending_residual]
-                )
-            if self._sorted_values is not None:
-                tail_rows = np.repeat(
-                    np.arange(base_rows, base_rows + len(pending_values), dtype=np.int64),
-                    lengths,
-                )
-                order = np.argsort(tail_values, kind="stable")
-                self._sorted_values, self._sorted_rows = _merge_sorted_runs(
-                    self._sorted_values,
-                    self._sorted_rows,
-                    tail_values[order],
-                    tail_rows[order],
-                )
-        else:
-            self._row_max = None
-            self._row_exact = None
-            self._sorted_values = None
-            self._sorted_rows = None
+            extra = np.zeros((len(pending_values), 0), dtype=np.uint64)
+        record_sizes = np.asarray(self._pending_record_sizes, dtype=np.int64)
+        residual_sizes = np.asarray(self._pending_residual_sizes, dtype=np.int64)
+        row_ids = np.asarray(self._pending_ids, dtype=np.int64)
+        dead = np.asarray(self._pending_dead, dtype=bool)
 
         self._pending_values = []
         self._pending_masks = []
@@ -375,6 +397,69 @@ class ColumnarSketchStore:
         self._pending_residual_sizes = []
         self._pending_ids = []
         self._pending_dead = []
+        self._extend_base(
+            tail_values, lengths, extra, record_sizes, residual_sizes, row_ids, dead
+        )
+
+    def _extend_base(
+        self,
+        flat_values: np.ndarray,
+        lengths: np.ndarray,
+        signature_words: np.ndarray,
+        record_sizes: np.ndarray,
+        residual_sizes: np.ndarray,
+        row_ids: np.ndarray,
+        dead: np.ndarray,
+    ) -> None:
+        """Seal a batch of rows into the base columns, merging derived caches.
+
+        The single home of base-segment growth, shared by the tail absorb
+        (one small batch of staged singles) and :meth:`append_bulk` (a
+        whole construction batch): column concatenation plus — under
+        ``incremental_merge`` with warm caches — an ``O(S)`` extension of
+        the per-row maxima/exactness columns and one two-run merge of the
+        value→record join index.
+        """
+        base_rows = int(self._record_sizes.size)
+        num_new = int(lengths.size)
+        self._values = np.concatenate([self._values, flat_values])
+        new_offsets = self._offsets[-1] + np.cumsum(lengths)
+        self._offsets = np.concatenate([self._offsets, new_offsets])
+        self._signatures = np.vstack([self._signatures, signature_words])
+        self._record_sizes = np.concatenate([self._record_sizes, record_sizes])
+        self._residual_record_sizes = np.concatenate(
+            [self._residual_record_sizes, residual_sizes]
+        )
+        self._row_ids = np.concatenate([self._row_ids, row_ids])
+        self._tombstones = np.concatenate([self._tombstones, dead])
+
+        if self.incremental_merge:
+            if self._row_max is not None:
+                tail_max = np.zeros(num_new, dtype=np.float64)
+                nonempty = lengths > 0
+                last = self._offsets[base_rows + 1 :] - 1
+                tail_max[nonempty] = self._values[last[nonempty]]
+                self._row_max = np.concatenate([self._row_max, tail_max])
+                self._row_exact = np.concatenate(
+                    [self._row_exact, lengths >= residual_sizes]
+                )
+            if self._sorted_values is not None:
+                tail_rows = np.repeat(
+                    np.arange(base_rows, base_rows + num_new, dtype=np.int64),
+                    lengths,
+                )
+                order = np.argsort(flat_values, kind="stable")
+                self._sorted_values, self._sorted_rows = _merge_sorted_runs(
+                    self._sorted_values,
+                    self._sorted_rows,
+                    flat_values[order],
+                    tail_rows[order],
+                )
+        else:
+            self._row_max = None
+            self._row_exact = None
+            self._sorted_values = None
+            self._sorted_rows = None
 
     def finalize(self) -> None:
         """Absorb the tail, compact if due, and ensure the derived caches exist."""
@@ -549,6 +634,11 @@ class ColumnarSketchStore:
     def signature_bits(self) -> int:
         """Bitmap width ``r`` shared by every signature row."""
         return self._signature_bits
+
+    @property
+    def num_words(self) -> int:
+        """Packed uint64 words per signature row (``ceil(r / 64)``)."""
+        return self._num_words
 
     @property
     def compact_ratio(self) -> float:

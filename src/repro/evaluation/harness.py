@@ -206,6 +206,7 @@ def evaluate_dynamic_stream(
     method_name: str,
     searcher: DynamicSearcher,
     workload,
+    batch_inserts: bool = False,
 ) -> DynamicEvaluation:
     """Replay a mixed insert/delete/query stream and measure everything.
 
@@ -215,12 +216,49 @@ def evaluate_dynamic_stream(
     the stream's per-instant exact ground truth; mutation and query time
     are accounted separately so insert-heavy and query-heavy mixes stay
     comparable.
+
+    With ``batch_inserts`` enabled, maximal runs of *consecutive* insert
+    operations are fed through the searcher's ``insert_many`` (when it
+    has one) instead of one ``insert`` call each — the batched-ingest
+    path of the bulk construction pipeline.  Stream semantics are
+    unchanged: a run of inserts is only ever interrupted by a delete or
+    query in the stream itself, exactly where the per-op replay would
+    have stopped inserting, and the assigned ids are validated per
+    operation either way.
     """
     answers: list[set[int]] = []
     truths: list[frozenset[int]] = []
     num_inserts = num_deletes = 0
     mutation_seconds = query_seconds = 0.0
-    for operation in workload.operations:
+    operations = list(workload.operations)
+    use_batches = batch_inserts and hasattr(searcher, "insert_many")
+    position = 0
+    while position < len(operations):
+        operation = operations[position]
+        if operation.op == "insert" and use_batches:
+            run_stop = position + 1
+            while run_stop < len(operations) and operations[run_stop].op == "insert":
+                run_stop += 1
+            run = operations[position:run_stop]
+            start = time.perf_counter()
+            assigned_ids = searcher.insert_many([list(op.record) for op in run])
+            mutation_seconds += time.perf_counter() - start
+            num_inserts += len(run)
+            if len(assigned_ids) != len(run):
+                raise ConfigurationError(
+                    f"insert_many returned {len(assigned_ids)} ids for "
+                    f"{len(run)} inserted records"
+                )
+            for assigned, expected in zip(assigned_ids, run):
+                if int(assigned) != expected.record_id:
+                    raise ConfigurationError(
+                        f"searcher assigned id {assigned} where the stream "
+                        f"expected {expected.record_id}; build it on the "
+                        "workload's initial_records"
+                    )
+            position = run_stop
+            continue
+        position += 1
         if operation.op == "insert":
             start = time.perf_counter()
             assigned = searcher.insert(list(operation.record))

@@ -23,6 +23,7 @@ from repro.hashing.hash_functions import (
     MAX_UINT64,
     UnitHash,
     element_fingerprint,
+    fingerprint_many,
     hash_to_unit,
     mix64,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "UnitHash",
     "HashFamily",
     "element_fingerprint",
+    "fingerprint_many",
     "hash_to_unit",
     "mix64",
 ]

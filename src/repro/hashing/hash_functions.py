@@ -95,6 +95,37 @@ def hash_to_unit(value: int) -> float:
     return ((value & MAX_UINT64) >> 11) * _INV_2_53
 
 
+def fingerprint_many(elements: Iterable[object]) -> np.ndarray:
+    """Fingerprint a whole batch of elements in one pass (uint64 array).
+
+    Element-wise identical to :func:`element_fingerprint`.  Integer (and
+    boolean) batches are converted with a single C-level ``asarray`` pass
+    — no Python-level type scan; the 64-bit wrap of negative values
+    matches the scalar ``int(element) & MAX_UINT64``.  Anything numpy
+    cannot represent losslessly as an integer array (strings, bytes,
+    mixed types, integers beyond 64 bits) falls back to one ``fromiter``
+    pass over the scalar fingerprint.
+    """
+    if not isinstance(elements, list):
+        elements = list(elements)
+    if not elements:
+        return np.empty(0, dtype=np.uint64)
+    if isinstance(elements[0], (int, np.integer)):
+        try:
+            arr = np.asarray(elements)
+        except (OverflowError, ValueError, TypeError):
+            arr = None
+        # Only integer-kind inferences are lossless: a mixed or oversized
+        # batch infers float64/object/str and must take the exact path.
+        if arr is not None and arr.ndim == 1 and arr.dtype.kind in "bui":
+            return arr.astype(np.uint64)
+    return np.fromiter(
+        (element_fingerprint(element) for element in elements),
+        dtype=np.uint64,
+        count=len(elements),
+    )
+
+
 @dataclass(frozen=True)
 class UnitHash:
     """A single deterministic hash function ``element -> [0, 1)``.
@@ -129,16 +160,24 @@ class UnitHash:
     def hash_many(self, elements: Iterable[object]) -> np.ndarray:
         """Hash an iterable of elements, returning a float64 array.
 
-        Integer-only iterables take a vectorised numpy path; mixed or
-        string elements fall back to the scalar path element by element.
+        Element-wise identical to the scalar ``__call__``: the batch is
+        fingerprinted in one :func:`fingerprint_many` pass and mixed with
+        one vectorised SplitMix64 pass — no per-element Python hashing
+        even for string/bytes/mixed batches.
         """
-        elements = list(elements)
-        if not elements:
+        return self.hash_fingerprints(fingerprint_many(elements))
+
+    def hash_fingerprints(self, fingerprints: np.ndarray) -> np.ndarray:
+        """Hash an array of pre-computed 64-bit fingerprints to ``[0, 1)``.
+
+        The vectorised counterpart of :meth:`hash_int`; bulk pipelines
+        that already hold a fingerprint column use this to skip
+        re-fingerprinting.
+        """
+        fingerprints = np.ascontiguousarray(fingerprints, dtype=np.uint64)
+        if fingerprints.size == 0:
             return np.empty(0, dtype=np.float64)
-        if all(isinstance(e, (int, np.integer)) and not isinstance(e, bool) for e in elements):
-            arr = np.asarray(elements, dtype=np.uint64)
-            return self._hash_uint64_array(arr)
-        return np.array([self(e) for e in elements], dtype=np.float64)
+        return self._hash_uint64_array(fingerprints)
 
     def _hash_uint64_array(self, arr: np.ndarray) -> np.ndarray:
         """Vectorised SplitMix64 over a uint64 array."""

@@ -1,0 +1,324 @@
+"""Bulk construction pipeline: bitwise identity with the per-record path.
+
+The contract of the bulk builder is absolute: for any dataset the
+vectorised pipeline must produce *exactly* the index the record-at-a-time
+path produces — same vocabulary, same threshold, same store state arrays,
+same ``search_many`` output — and ``insert_many`` must be
+indistinguishable from looping ``insert``.  These tests pin that contract
+on the dataset shapes that exercise every branch: power-law data,
+duplicate elements within a record, singleton records, all-buffer and
+all-residual records, string elements, and batched ingest on stores that
+have already seen deletes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._errors import ConfigurationError, EmptyDatasetError
+from repro.baselines import GKMVSearchIndex, KMVSearchIndex
+from repro.core import (
+    FingerprintCollisionError,
+    FrequentElementVocabulary,
+    GBKMVIndex,
+    bulk_kmv_value_rows,
+    flatten_records,
+    vocabulary_lookup,
+)
+from repro.datasets import generate_zipf_dataset, sample_queries
+from repro.hashing import UnitHash
+
+THRESHOLD = 0.5
+
+
+def powerlaw_records(num_records: int = 400, seed: int = 3) -> list[list[int]]:
+    return generate_zipf_dataset(
+        num_records=num_records,
+        universe_size=3_000,
+        element_exponent=1.15,
+        size_exponent=3.0,
+        min_record_size=4,
+        max_record_size=50,
+        seed=seed,
+    )
+
+
+def assert_same_index(bulk: GBKMVIndex, reference: GBKMVIndex, queries) -> None:
+    """Vocabulary, threshold, store state and search output all match."""
+    assert bulk.vocabulary == reference.vocabulary
+    assert bulk.threshold == reference.threshold
+    bulk_state = bulk.store.state_arrays()
+    reference_state = reference.store.state_arrays()
+    assert bulk_state.keys() == reference_state.keys()
+    for name in bulk_state:
+        assert np.array_equal(bulk_state[name], reference_state[name]), name
+    assert bulk.search_many(queries, THRESHOLD) == reference.search_many(
+        queries, THRESHOLD
+    )
+
+
+class TestFlattenRecords:
+    def test_csr_shape_and_per_record_dedup(self):
+        flat = flatten_records([[1, 2, 2, 3], [3, 3], [7]])
+        assert flat.num_records == 3
+        assert flat.record_sizes.tolist() == [3, 1, 1]
+        assert sorted(flat.record_elements(0)) == [1, 2, 3]
+        assert flat.record_elements(2) == [7]
+        # 3 appears in two records: its count is the containing-record count.
+        position = flat.unique_fingerprints.tolist().index(3)
+        assert flat.counts[position] == 2
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            flatten_records([])
+
+    def test_empty_record_raises(self):
+        with pytest.raises(ConfigurationError):
+            flatten_records([[1], []])
+
+
+class TestBuildIdentity:
+    @pytest.mark.parametrize("space_fraction", [0.05, 0.10, 0.30])
+    def test_powerlaw_dataset(self, space_fraction):
+        records = powerlaw_records()
+        queries, _ = sample_queries(records, num_queries=12, seed=9)
+        bulk = GBKMVIndex.build(records, space_fraction=space_fraction)
+        reference = GBKMVIndex.build(
+            records, space_fraction=space_fraction, method="per-record"
+        )
+        assert_same_index(bulk, reference, queries)
+
+    def test_duplicate_elements_within_records(self):
+        records = [[1, 1, 1, 2], [2, 2, 3, 3, 3], [4, 4, 4, 4]]
+        bulk = GBKMVIndex.build(records, space_fraction=0.5)
+        reference = GBKMVIndex.build(records, space_fraction=0.5, method="per-record")
+        assert_same_index(bulk, reference, records)
+
+    def test_singleton_records(self):
+        records = [[5], [6], [5], [7]]
+        bulk = GBKMVIndex.build(records, space_fraction=0.5)
+        reference = GBKMVIndex.build(records, space_fraction=0.5, method="per-record")
+        assert_same_index(bulk, reference, records)
+
+    def test_all_buffer_records(self):
+        # Buffer wide enough for the whole universe: residuals are empty.
+        records = [[1, 2], [2, 3], [1, 3], [1, 2, 3]]
+        bulk = GBKMVIndex.build(records, space_fraction=1.0, buffer_size=3)
+        reference = GBKMVIndex.build(
+            records, space_fraction=1.0, buffer_size=3, method="per-record"
+        )
+        assert bulk.buffer_size == 3
+        assert bulk.store.total_values == 0
+        assert_same_index(bulk, reference, records)
+
+    def test_all_residual_records(self):
+        records = powerlaw_records(num_records=120)
+        bulk = GBKMVIndex.build(records, space_fraction=0.2, buffer_size=0)
+        reference = GBKMVIndex.build(
+            records, space_fraction=0.2, buffer_size=0, method="per-record"
+        )
+        assert bulk.buffer_size == 0
+        assert_same_index(bulk, reference, records[:10])
+
+    def test_string_elements(self):
+        records = [[f"tok{e}" for e in record] for record in powerlaw_records(150)]
+        queries, _ = sample_queries(records, num_queries=8, seed=5)
+        bulk = GBKMVIndex.build(records, space_fraction=0.15)
+        reference = GBKMVIndex.build(
+            records, space_fraction=0.15, method="per-record"
+        )
+        assert_same_index(bulk, reference, queries)
+
+    def test_negative_and_large_int_elements(self):
+        records = [[-5, -4, 3], [3, 2**63 + 7, -4], [-5, 2**63 + 7, 11]]
+        bulk = GBKMVIndex.build(records, space_fraction=1.0)
+        reference = GBKMVIndex.build(records, space_fraction=1.0, method="per-record")
+        assert_same_index(bulk, reference, records)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GBKMVIndex.build([[1, 2]], method="turbo")
+
+
+class TestFromParametersIdentity:
+    def test_pinned_rebuild_matches(self):
+        records = powerlaw_records()
+        queries, _ = sample_queries(records, num_queries=10, seed=11)
+        built = GBKMVIndex.build(records, space_fraction=0.1)
+        bulk = GBKMVIndex.from_parameters(
+            records,
+            vocabulary=built.vocabulary,
+            threshold=built.threshold,
+            hasher=built.hasher,
+            budget=built.budget,
+        )
+        reference = GBKMVIndex.from_parameters(
+            records,
+            vocabulary=built.vocabulary,
+            threshold=built.threshold,
+            hasher=built.hasher,
+            budget=built.budget,
+            method="per-record",
+        )
+        assert_same_index(bulk, reference, queries)
+
+    def test_vocabulary_fingerprint_collision_falls_back(self):
+        # "a" and b"a" are distinct Python objects with equal FNV
+        # fingerprints: the bulk membership lookup cannot tell them
+        # apart, so ingest must fall back to the exact per-record split.
+        vocabulary = FrequentElementVocabulary(["a", b"a"])
+        with pytest.raises(FingerprintCollisionError):
+            vocabulary_lookup(vocabulary)
+        records = [["a", "x", "y"], [b"a", "x"], ["a", b"a", "z"]]
+        hasher = UnitHash(seed=0)
+        bulk = GBKMVIndex.from_parameters(
+            records, vocabulary=vocabulary, threshold=0.9, hasher=hasher, budget=10.0
+        )
+        reference = GBKMVIndex.from_parameters(
+            records,
+            vocabulary=vocabulary,
+            threshold=0.9,
+            hasher=hasher,
+            budget=10.0,
+            method="per-record",
+        )
+        assert_same_index(bulk, reference, [["a", "x"]])
+
+
+class TestInsertMany:
+    def test_matches_looped_insert(self):
+        records = powerlaw_records()
+        extra = powerlaw_records(num_records=80, seed=8)
+        queries, _ = sample_queries(records, num_queries=10, seed=13)
+        looped = GBKMVIndex.build(records, space_fraction=0.1)
+        batched = GBKMVIndex.build(records, space_fraction=0.1)
+        looped_ids = [looped.insert(record) for record in extra]
+        batched_ids = batched.insert_many(extra)
+        assert looped_ids == batched_ids
+        assert_same_index(batched, looped, queries)
+
+    def test_after_deletes_ids_continue(self):
+        records = powerlaw_records(num_records=60)
+        extra = powerlaw_records(num_records=20, seed=21)
+        looped = GBKMVIndex.build(records, space_fraction=0.2)
+        batched = GBKMVIndex.build(records, space_fraction=0.2)
+        for record_id in (0, 7, 31):
+            looped.delete(record_id)
+            batched.delete(record_id)
+        looped_ids = [looped.insert(record) for record in extra]
+        batched_ids = batched.insert_many(extra)
+        assert looped_ids == batched_ids
+        assert_same_index(batched, looped, records[:8])
+
+    def test_interleaved_with_single_inserts_and_search(self):
+        records = powerlaw_records(num_records=60)
+        extra = powerlaw_records(num_records=30, seed=23)
+        looped = GBKMVIndex.build(records, space_fraction=0.2)
+        batched = GBKMVIndex.build(records, space_fraction=0.2)
+        looped.insert(extra[0])
+        batched.insert(extra[0])
+        looped.search(extra[0], THRESHOLD)  # force a tail absorb in between
+        batched.search(extra[0], THRESHOLD)
+        for record in extra[1:]:
+            looped.insert(record)
+        batched.insert_many(extra[1:])
+        assert_same_index(batched, looped, records[:8])
+
+    def test_empty_batch_is_noop(self):
+        index = GBKMVIndex.build([[1, 2], [2, 3]], space_fraction=1.0)
+        before = index.num_records
+        assert index.insert_many([]) == []
+        assert index.num_records == before
+
+    def test_empty_record_in_batch_rejected(self):
+        index = GBKMVIndex.build([[1, 2], [2, 3]], space_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            index.insert_many([[4], []])
+
+
+class TestKMVBaselineBulk:
+    def test_build_identity(self):
+        records = powerlaw_records(num_records=200)
+        queries, _ = sample_queries(records, num_queries=10, seed=7)
+        bulk = KMVSearchIndex.build(records, space_fraction=0.1)
+        reference = KMVSearchIndex.build(
+            records, space_fraction=0.1, method="per-record"
+        )
+        assert bulk.k_per_record == reference.k_per_record
+        assert len(bulk._value_rows) == len(reference._value_rows)
+        for bulk_row, reference_row in zip(bulk._value_rows, reference._value_rows):
+            assert np.array_equal(bulk_row, reference_row)
+        assert bulk.search_many(queries, THRESHOLD) == reference.search_many(
+            queries, THRESHOLD
+        )
+
+    def test_insert_many_matches_looped_insert(self):
+        records = powerlaw_records(num_records=150)
+        extra = powerlaw_records(num_records=40, seed=17)
+        queries, _ = sample_queries(records, num_queries=8, seed=19)
+        looped = KMVSearchIndex.build(records, space_fraction=0.1)
+        batched = KMVSearchIndex.build(records, space_fraction=0.1)
+        looped_ids = [looped.insert(record) for record in extra]
+        batched_ids = batched.insert_many(extra)
+        assert looped_ids == batched_ids
+        assert batched.insert_many([]) == []
+        assert looped.search_many(queries, THRESHOLD) == batched.search_many(
+            queries, THRESHOLD
+        )
+
+    def test_bulk_value_rows_truncate_to_k(self):
+        flat = flatten_records([[1, 2, 3, 4, 5], [6]])
+        rows = bulk_kmv_value_rows(flat, UnitHash(seed=0), 2)
+        assert [row.size for row in rows] == [2, 1]
+        hasher = UnitHash(seed=0)
+        reference = np.unique(hasher.hash_many([1, 2, 3, 4, 5]))[:2]
+        assert np.array_equal(rows[0], reference)
+
+    def test_gkmv_baseline_bulk_matches(self):
+        records = powerlaw_records(num_records=120)
+        queries, _ = sample_queries(records, num_queries=6, seed=29)
+        bulk = GKMVSearchIndex.build(records, space_fraction=0.1)
+        reference = GKMVSearchIndex.build(
+            records, space_fraction=0.1, method="per-record"
+        )
+        bulk.insert_many(records[:5])
+        for record in records[:5]:
+            reference.insert(record)
+        assert bulk.search_many(queries, THRESHOLD) == reference.search_many(
+            queries, THRESHOLD
+        )
+
+
+class TestStoreBulkAppend:
+    def test_shape_validation(self):
+        index = GBKMVIndex.build([[1, 2], [2, 3]], space_fraction=1.0)
+        store = index.store
+        with pytest.raises(ConfigurationError):
+            store.append_bulk(
+                values=np.array([0.5]),
+                value_lengths=np.array([1, 1]),
+                signatures=np.zeros((2, store.num_words), dtype=np.uint64),
+                residual_record_sizes=np.array([1, 1]),
+                record_sizes=np.array([1, 1]),
+            )
+        with pytest.raises(ConfigurationError):
+            store.append_bulk(
+                values=np.array([0.5]),
+                value_lengths=np.array([1]),
+                signatures=np.zeros((2, store.num_words), dtype=np.uint64),
+                residual_record_sizes=np.array([1]),
+                record_sizes=np.array([1]),
+            )
+
+    def test_empty_batch_returns_no_ids(self):
+        index = GBKMVIndex.build([[1, 2], [2, 3]], space_fraction=1.0)
+        store = index.store
+        ids = store.append_bulk(
+            values=np.empty(0, dtype=np.float64),
+            value_lengths=np.empty(0, dtype=np.int64),
+            signatures=np.zeros((0, store.num_words), dtype=np.uint64),
+            residual_record_sizes=np.empty(0, dtype=np.int64),
+            record_sizes=np.empty(0, dtype=np.int64),
+        )
+        assert ids.size == 0

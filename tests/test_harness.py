@@ -166,3 +166,54 @@ class TestEvaluateDynamicStream:
         from repro.evaluation import DynamicSearcher
 
         assert isinstance(GBKMVIndex.build([["a", "b"]], space_fraction=1.0), DynamicSearcher)
+
+    def test_batch_inserts_replay_is_equivalent(self, zipf_records):
+        # Batched-ingest replay must score the stream identically to the
+        # per-operation replay (runs of consecutive inserts go through
+        # insert_many, everything else is untouched).
+        workload = build_dynamic_workload(
+            zipf_records[:150], threshold=0.5, num_operations=120, seed=11
+        )
+        per_op_index = GBKMVIndex.build(
+            list(workload.initial_records), space_fraction=0.5
+        )
+        batched_index = GBKMVIndex.build(
+            list(workload.initial_records), space_fraction=0.5
+        )
+        per_op = evaluate_dynamic_stream("GB-KMV", per_op_index, workload)
+        batched = evaluate_dynamic_stream(
+            "GB-KMV", batched_index, workload, batch_inserts=True
+        )
+        assert batched.accuracy == per_op.accuracy
+        assert batched.num_inserts == per_op.num_inserts
+        assert batched.num_deletes == per_op.num_deletes
+        assert batched.num_queries == per_op.num_queries
+
+    def test_batch_inserts_without_insert_many_falls_back(self, zipf_records):
+        workload = build_dynamic_workload(
+            zipf_records[:80], threshold=0.5, num_operations=40, seed=13
+        )
+
+        class LoopOnly:
+            """A searcher with no insert_many: batching must degrade gracefully."""
+
+            def __init__(self, inner):
+                self.inner = inner
+
+            def search(self, query, threshold, query_size=None):
+                return self.inner.search(query, threshold, query_size=query_size)
+
+            def insert(self, record):
+                return self.inner.insert(record)
+
+            def delete(self, record_id):
+                self.inner.delete(record_id)
+
+        searcher = LoopOnly(
+            GBKMVIndex.build(list(workload.initial_records), space_fraction=1.0)
+        )
+        evaluation = evaluate_dynamic_stream(
+            "GB-KMV", searcher, workload, batch_inserts=True
+        )
+        assert evaluation.num_operations == workload.num_operations
+        assert evaluation.accuracy.f1 == 1.0

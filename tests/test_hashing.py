@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 
 from repro._errors import ConfigurationError
-from repro.hashing import MAX_UINT64, UnitHash, element_fingerprint, hash_to_unit, mix64
+from repro.hashing import (
+    MAX_UINT64,
+    UnitHash,
+    element_fingerprint,
+    fingerprint_many,
+    hash_to_unit,
+    mix64,
+)
 
 
 class TestMix64:
@@ -101,6 +108,33 @@ class TestUnitHash:
     def test_hash_many_empty(self, hasher):
         assert hasher.hash_many([]).size == 0
 
+    def test_hash_many_matches_scalar_for_mixed_batch(self, hasher):
+        elements = [1, "a", b"bytes", True, -7, 2**70]
+        vectorised = hasher.hash_many(elements)
+        scalar = np.array([hasher(e) for e in elements])
+        assert np.array_equal(vectorised, scalar)
+
+    def test_hash_many_matches_scalar_for_negative_ints(self, hasher):
+        # The old integer fast path overflowed on negatives; the
+        # fingerprint-array pass must wrap exactly like the scalar path.
+        elements = [-1, -12345, 0, 7]
+        vectorised = hasher.hash_many(elements)
+        scalar = np.array([hasher(e) for e in elements])
+        assert np.array_equal(vectorised, scalar)
+
+    def test_hash_many_rejects_unsupported_types(self, hasher):
+        with pytest.raises(ConfigurationError):
+            hasher.hash_many([1.5])
+        with pytest.raises(ConfigurationError):
+            hasher.hash_many([1, 2.5])
+
+    def test_hash_fingerprints_matches_hash_int(self, hasher):
+        fingerprints = np.array([0, 1, 2**63, MAX_UINT64], dtype=np.uint64)
+        vectorised = hasher.hash_fingerprints(fingerprints)
+        scalar = np.array([hasher.hash_int(int(fp)) for fp in fingerprints])
+        assert np.array_equal(vectorised, scalar)
+        assert hasher.hash_fingerprints(np.empty(0, dtype=np.uint64)).size == 0
+
     def test_string_hashing_process_independent_constant(self):
         # Pin a concrete value so accidental changes to the fingerprinting
         # scheme (which would invalidate stored sketches) are caught.
@@ -119,3 +153,32 @@ class TestUnitHash:
     def test_seed_must_be_integer(self):
         with pytest.raises(ConfigurationError):
             UnitHash(seed="not-an-int")  # type: ignore[arg-type]
+
+
+class TestFingerprintMany:
+    def test_matches_scalar_for_every_supported_type(self):
+        elements = [0, 5, -1, 2**63, 2**70, True, False, "token", b"raw", ""]
+        batch = fingerprint_many(elements)
+        scalar = np.array([element_fingerprint(e) for e in elements], dtype=np.uint64)
+        assert np.array_equal(batch, scalar)
+
+    def test_integer_fast_path_matches_scalar(self):
+        elements = list(range(-500, 500))
+        batch = fingerprint_many(elements)
+        scalar = np.array([element_fingerprint(e) for e in elements], dtype=np.uint64)
+        assert np.array_equal(batch, scalar)
+
+    def test_empty(self):
+        assert fingerprint_many([]).size == 0
+        assert fingerprint_many([]).dtype == np.uint64
+
+    def test_accepts_any_iterable(self):
+        assert np.array_equal(
+            fingerprint_many(iter([3, 4])), fingerprint_many([3, 4])
+        )
+
+    def test_rejects_unsupported_types(self):
+        with pytest.raises(ConfigurationError):
+            fingerprint_many([object()])
+        with pytest.raises(ConfigurationError):
+            fingerprint_many([3, 1.25])
