@@ -15,10 +15,14 @@ from __future__ import annotations
 
 from _util import DEFAULT_THRESHOLD, bench_dataset, bench_workload, evaluate_methods, write_report
 
-from repro.baselines import AsymmetricMinHashIndex, GKMVSearchIndex, KMVSearchIndex, LSHEnsembleIndex
-from repro.core import GBKMVIndex
-from repro.evaluation import evaluate_search_method
-from repro.evaluation.harness import time_construction
+from repro.api import (
+    AsymmetricMinHashConfig,
+    GBKMVConfig,
+    GKMVConfig,
+    KMVConfig,
+    LSHEnsembleConfig,
+    create_index,
+)
 
 DATASET = "NETFLIX"
 SPACE_FRACTION = 0.10
@@ -33,43 +37,29 @@ def _run() -> list[list[object]]:
         truth,
         DEFAULT_THRESHOLD,
         {
-            "KMV (no threshold, no buffer)": lambda: KMVSearchIndex.build(
-                records, space_fraction=SPACE_FRACTION
+            "KMV (no threshold, no buffer)": lambda: create_index(
+                "kmv", records, KMVConfig(space_fraction=SPACE_FRACTION)
             ),
-            "G-KMV (global threshold)": lambda: GKMVSearchIndex.build(
-                records, space_fraction=SPACE_FRACTION
+            "G-KMV (global threshold)": lambda: create_index(
+                "gkmv", records, GKMVConfig(space_fraction=SPACE_FRACTION)
             ),
-            "GB-KMV (threshold + buffer)": lambda: GBKMVIndex.build(
-                records, space_fraction=SPACE_FRACTION
+            "GB-KMV (threshold + buffer)": lambda: create_index(
+                "gbkmv", records, GBKMVConfig(space_fraction=SPACE_FRACTION)
             ),
-            "LSH-E (raw candidates)": lambda: LSHEnsembleIndex.build(
-                records, num_perm=128, num_partitions=16
+            "LSH-E (raw candidates)": lambda: create_index(
+                "lsh-ensemble",
+                records,
+                LSHEnsembleConfig(num_perm=128, num_partitions=16),
             ),
-            "AsymMinHash": lambda: AsymmetricMinHashIndex.build(records, num_perm=128),
+            "LSH-E (verified candidates)": lambda: create_index(
+                "lsh-ensemble",
+                records,
+                LSHEnsembleConfig(num_perm=128, num_partitions=16, verify=True),
+            ),
+            "AsymMinHash": lambda: create_index(
+                "asymmetric-minhash", records, AsymmetricMinHashConfig(num_perm=128)
+            ),
         },
-    )
-    # LSH-E with verification shares the raw-candidate index; evaluate separately.
-    lshe, construction_seconds = time_construction(
-        lambda: LSHEnsembleIndex.build(records, num_perm=128, num_partitions=16)
-    )
-
-    class _VerifyingLSHE:
-        def search(self, query, threshold, query_size=None):
-            return lshe.search(query, threshold, query_size=query_size, verify=True)
-
-        def space_in_values(self):
-            return lshe.space_in_values()
-
-        def space_fraction(self):
-            return lshe.space_fraction()
-
-    evaluations["LSH-E (verified candidates)"] = evaluate_search_method(
-        "LSH-E (verified candidates)",
-        _VerifyingLSHE(),
-        queries,
-        truth,
-        DEFAULT_THRESHOLD,
-        construction_seconds=construction_seconds,
     )
 
     return [

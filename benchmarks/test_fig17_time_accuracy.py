@@ -16,8 +16,7 @@ from __future__ import annotations
 
 from _util import DEFAULT_THRESHOLD, bench_dataset, bench_workload, evaluate_methods, write_report
 
-from repro.baselines import LSHEnsembleIndex
-from repro.core import GBKMVIndex
+from repro.api import GBKMVConfig, LSHEnsembleConfig, create_index
 
 DATASETS = ("COD", "NETFLIX", "DELIC", "ENRON")
 GBKMV_FRACTIONS = (0.02, 0.05, 0.10, 0.20)
@@ -32,11 +31,17 @@ def _run() -> list[list[object]]:
         methods = {}
         for fraction in GBKMV_FRACTIONS:
             methods[f"GB-KMV@{fraction:.0%}"] = (
-                lambda f=fraction: GBKMVIndex.build(records, space_fraction=f)
+                lambda f=fraction: create_index(
+                    "gbkmv", records, GBKMVConfig(space_fraction=f)
+                )
             )
         for num_perm in LSHE_NUM_PERMS:
             methods[f"LSH-E@{num_perm}"] = (
-                lambda n=num_perm: LSHEnsembleIndex.build(records, num_perm=n, num_partitions=16)
+                lambda n=num_perm: create_index(
+                    "lsh-ensemble",
+                    records,
+                    LSHEnsembleConfig(num_perm=n, num_partitions=16),
+                )
             )
         evaluations = evaluate_methods(
             records, queries, truth, DEFAULT_THRESHOLD, methods, use_batched=True

@@ -7,8 +7,8 @@ high containment C(Q, X) = |Q ∩ X| / |Q|.
 
 This example fabricates a corpus of "columns" (country lists, product
 codes, mixed noise) shaped like the COD dataset — few very large domains,
-many small ones, heavily reused values — then compares GB-KMV against the
-LSH Ensemble baseline on the same queries.
+many small ones, heavily reused values — then compares the ``"gbkmv"``
+and ``"lsh-ensemble"`` backends of :mod:`repro.api` on the same queries.
 
 Run with::
 
@@ -19,9 +19,15 @@ from __future__ import annotations
 
 import time
 
-from repro import GBKMVIndex, LSHEnsembleIndex
-from repro.datasets import load_proxy, sample_queries
-from repro.evaluation import evaluate_search_method, exact_result_sets
+from repro.api import (
+    GBKMVConfig,
+    LSHEnsembleConfig,
+    create_index,
+    evaluate_search_method,
+    exact_result_sets,
+    load_proxy,
+    sample_queries,
+)
 
 
 def main() -> None:
@@ -38,12 +44,14 @@ def main() -> None:
 
     print("  building GB-KMV index (10% space budget)...")
     start = time.perf_counter()
-    gbkmv = GBKMVIndex.build(columns, space_fraction=0.10)
+    gbkmv = create_index("gbkmv", columns, GBKMVConfig(space_fraction=0.10))
     gbkmv_build = time.perf_counter() - start
 
     print("  building LSH Ensemble index (256 hash functions, 32 partitions)...")
     start = time.perf_counter()
-    lshe = LSHEnsembleIndex.build(columns, num_perm=256, num_partitions=32)
+    lshe = create_index(
+        "lsh-ensemble", columns, LSHEnsembleConfig(num_perm=256, num_partitions=32)
+    )
     lshe_build = time.perf_counter() - start
 
     gbkmv_eval = evaluate_search_method("GB-KMV", gbkmv, queries, ground_truth, threshold)

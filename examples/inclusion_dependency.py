@@ -7,8 +7,9 @@ foreign-key candidates.
 
 This example synthesises a small relational schema (a few "dimension"
 columns and many "fact" columns referencing them, plus noise columns),
-then uses GB-KMV to find, for every column, the columns that contain it —
-without ever computing exact pairwise intersections.
+then uses the ``"gbkmv"`` backend of :mod:`repro.api` to find, for every
+column, the columns that contain it — without ever computing exact
+pairwise intersections.
 
 Run with::
 
@@ -19,7 +20,7 @@ from __future__ import annotations
 
 import random
 
-from repro import GBKMVIndex, containment_similarity
+from repro.api import GBKMVConfig, containment_similarity, create_index
 
 
 def build_schema(seed: int = 3) -> dict[str, list[int]]:
@@ -55,7 +56,7 @@ def main() -> None:
     records = [columns[name] for name in names]
 
     print("=== Approximate inclusion dependency discovery ===")
-    index = GBKMVIndex.build(records, space_fraction=0.15)
+    index = create_index("gbkmv", records, GBKMVConfig(space_fraction=0.15))
     print(f"  columns: {len(records)}, space used: {index.space_fraction():.1%}\n")
 
     threshold = 0.9  # report A ⊆~ B when at least 90% of A's values are in B

@@ -2,12 +2,13 @@
 
 This walks through the paper's running example (Example 1) and then a
 slightly larger synthetic dataset, showing the three things a user does
-with the library:
+with the library — all through the unified :mod:`repro.api` surface:
 
-1. build a :class:`~repro.core.GBKMVIndex` over a collection of records
-   under a space budget,
+1. build an index with ``create_index("gbkmv", records, config)`` under
+   a space budget,
 2. run threshold searches (``search``) and top-k searches (``top_k``), and
-3. compare the approximate answers against the exact ones.
+3. compare the approximate answers against the exact ``"brute-force"``
+   backend.
 
 Run with::
 
@@ -16,8 +17,12 @@ Run with::
 
 from __future__ import annotations
 
-from repro import BruteForceSearcher, GBKMVIndex, containment_similarity
-from repro.datasets import generate_zipf_dataset
+from repro.api import (
+    GBKMVConfig,
+    containment_similarity,
+    create_index,
+    generate_zipf_dataset,
+)
 
 
 def paper_example() -> None:
@@ -36,7 +41,9 @@ def paper_example() -> None:
 
     # A 100% space budget keeps every hash value, so the index is exact;
     # real deployments use a small fraction (the paper's default is 10%).
-    index = GBKMVIndex.build(records, space_fraction=1.0, buffer_size=2)
+    index = create_index(
+        "gbkmv", records, GBKMVConfig(space_fraction=1.0, buffer_size=2)
+    )
     hits = index.search(query, threshold=0.5)
     print(f"  records with containment >= 0.5: "
           f"{[(f'X{hit.record_id + 1}', round(hit.score, 2)) for hit in hits]}")
@@ -55,7 +62,7 @@ def synthetic_example() -> None:
         max_record_size=500,
         seed=7,
     )
-    index = GBKMVIndex.build(records, space_fraction=0.10)
+    index = create_index("gbkmv", records, GBKMVConfig(space_fraction=0.10))
     stats = index.statistics()
     print(f"  records indexed       : {stats.num_records}")
     print(f"  buffer size (cost model): {stats.buffer_size}")
@@ -65,7 +72,7 @@ def synthetic_example() -> None:
     query = records[42]
     threshold = 0.5
     approximate = index.search(query, threshold)
-    exact = BruteForceSearcher(records).search(query, threshold)
+    exact = create_index("brute-force", records).search(query, threshold)
     approximate_ids = {hit.record_id for hit in approximate}
     exact_ids = {hit.record_id for hit in exact}
     true_positives = len(approximate_ids & exact_ids)

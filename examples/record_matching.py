@@ -7,11 +7,13 @@ sharing only one, which is what Jaccard similarity (biased towards short
 records) would prefer.
 
 This example builds a small corpus of noisy business descriptions
-(token sets), indexes it with GB-KMV, and shows that:
+(token sets), indexes it with the ``"gbkmv"`` backend of
+:mod:`repro.api`, and shows that:
 
 * containment ranks the intuitively correct records first, while Jaccard
   favours short records;
-* the sketch-based search returns the same matches as the exact search.
+* the sketch-based search returns the same matches as the exact
+  ``"brute-force"`` backend.
 
 Run with::
 
@@ -22,8 +24,12 @@ from __future__ import annotations
 
 import random
 
-from repro import GBKMVIndex, containment_similarity, jaccard_similarity
-from repro.exact import BruteForceSearcher
+from repro.api import (
+    GBKMVConfig,
+    containment_similarity,
+    create_index,
+    jaccard_similarity,
+)
 
 
 BUSINESSES = [
@@ -74,8 +80,8 @@ def main() -> None:
         )
 
     print("\n=== GB-KMV search over the noisy corpus ===")
-    index = GBKMVIndex.build(corpus, space_fraction=0.5)
-    exact = BruteForceSearcher(corpus)
+    index = create_index("gbkmv", corpus, GBKMVConfig(space_fraction=0.5))
+    exact = create_index("brute-force", corpus)
 
     threshold = 1.0  # every query word must appear
     approx_hits = {hit.record_id for hit in index.search(query, threshold)}

@@ -3,6 +3,12 @@
 A from-scratch reproduction of Yang, Zhang, Zhang & Huang (ICDE 2019).
 The package is organised as:
 
+``repro.api``
+    The public entry point: the :class:`~repro.api.SimilarityIndex`
+    protocol with per-backend :class:`~repro.api.Capabilities`, typed
+    build configs, the string-keyed backend registry
+    (:func:`~repro.api.create_index`) and self-describing snapshot
+    opening (:func:`~repro.api.open_index`).
 ``repro.core``
     The paper's contribution: KMV, G-KMV and GB-KMV sketches, the buffer
     cost model and the :class:`~repro.core.GBKMVIndex` search index.
@@ -26,11 +32,14 @@ The package is organised as:
 
 Quickstart
 ----------
->>> from repro import GBKMVIndex
+>>> from repro.api import create_index
 >>> records = [["a", "b", "c", "d"], ["a", "b"], ["c", "d", "e"]]
->>> index = GBKMVIndex.build(records, space_fraction=1.0)
+>>> index = create_index("gbkmv", records)
 >>> [hit.record_id for hit in index.search(["a", "b", "c"], threshold=0.6)]
 [0]
+
+The historical entry points (``repro.GBKMVIndex`` and friends) remain
+available and are the same objects the registry serves.
 """
 
 from repro._errors import (
@@ -61,10 +70,12 @@ from repro.exact import (
     containment_similarity,
     jaccard_similarity,
 )
+from repro import api
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "ReproError",
     "ConfigurationError",
     "EmptyDatasetError",

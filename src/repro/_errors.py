@@ -33,6 +33,33 @@ class EstimationError(ReproError):
     """
 
 
+class SnapshotFormatError(ConfigurationError):
+    """A persisted index snapshot cannot be read.
+
+    Raised when a file is not a repro index snapshot at all, when its
+    self-describing metadata is missing or malformed, or when it was
+    written by an unsupported format version.  Subclasses
+    :class:`ConfigurationError` so callers that predate the dedicated
+    type keep catching persistence failures.
+    """
+
+
+class CapabilityError(ReproError):
+    """An operation was invoked on a backend that does not support it.
+
+    The unified :class:`repro.api.SimilarityIndex` surface exposes every
+    operation on every backend; operations a backend genuinely cannot
+    perform (e.g. ``insert`` on a static LSH Ensemble, ``save`` on a
+    brute-force scan) raise this instead of an ``AttributeError``.  Check
+    :attr:`repro.api.SimilarityIndex.capabilities` before calling to
+    avoid it.
+    """
+
+
+class UnknownBackendError(ConfigurationError):
+    """A backend id is not present in the :mod:`repro.api` registry."""
+
+
 class SketchCompatibilityError(ReproError):
     """Two sketches cannot be combined.
 

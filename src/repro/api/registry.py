@@ -1,0 +1,194 @@
+"""String-keyed backend registry and self-describing snapshot opening.
+
+The registry maps backend ids (``"gbkmv"``, ``"lsh-ensemble"``, …) to
+their :class:`~repro.api.interface.SimilarityIndex` classes, so new
+backends plug in as pure registry entries::
+
+    from repro.api import create_index, available_backends, open_index
+
+    index = create_index("gbkmv", records, GBKMVConfig(space_fraction=0.1))
+    index.save("index.npz")
+    restored = open_index("index.npz")   # dispatches on the embedded backend id
+
+Snapshots are self-describing: every persistent backend embeds an
+``api_meta`` entry (format tag + backend id + format version) in its
+npz, and :func:`open_index` routes the file to the right backend's
+``load`` without the caller knowing what produced it.  Snapshots from
+before the tag existed are recognised by their legacy payload keys.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro._errors import ConfigurationError, SnapshotFormatError, UnknownBackendError
+from repro.api.config import IndexConfig
+from repro.api.interface import SimilarityIndex
+
+#: Format tag embedded in every self-describing snapshot.
+SNAPSHOT_FORMAT = "repro.api/index"
+
+#: npz entry name of the self-describing snapshot metadata.
+API_META_KEY = "api_meta"
+
+_BACKENDS: dict[str, type[SimilarityIndex]] = {}
+_builtin_loaded = False
+
+#: Payload keys that identify snapshots written before the ``api_meta``
+#: tag existed, mapped to the backend that wrote them.
+_LEGACY_PAYLOAD_KEYS = {
+    "index_meta": "gbkmv",
+    "kmv_meta": "kmv",
+}
+
+
+def _ensure_builtin_backends() -> None:
+    """Import (and thereby register) the built-in backends, once.
+
+    Deferred so that :mod:`repro.api` stays importable from inside
+    :mod:`repro.core` — the native backends import the interface at
+    module load, and resolve the registry only at first use.
+    """
+    global _builtin_loaded
+    if not _builtin_loaded:
+        _builtin_loaded = True
+        from repro.api import backends as _backends  # noqa: F401  (registers)
+
+
+def register_backend(
+    cls: type[SimilarityIndex], backend_id: str | None = None
+) -> type[SimilarityIndex]:
+    """Register a :class:`SimilarityIndex` class under its backend id.
+
+    Re-registering the same class is a no-op; registering a *different*
+    class under a taken id is a :class:`ConfigurationError`.  Returns the
+    class, so it is usable as a decorator.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, SimilarityIndex)):
+        raise ConfigurationError(
+            f"{cls!r} is not a SimilarityIndex subclass and cannot be registered"
+        )
+    key = cls.backend_id if backend_id is None else str(backend_id)
+    if not key:
+        raise ConfigurationError(
+            f"{cls.__name__} declares no backend_id and none was given"
+        )
+    existing = _BACKENDS.get(key)
+    if existing is not None and existing is not cls:
+        raise ConfigurationError(
+            f"backend id {key!r} is already registered to {existing.__name__}"
+        )
+    _BACKENDS[key] = cls
+    return cls
+
+
+def available_backends() -> tuple[str, ...]:
+    """Sorted ids of every registered backend."""
+    _ensure_builtin_backends()
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(backend_id: str) -> type[SimilarityIndex]:
+    """The :class:`SimilarityIndex` class registered under ``backend_id``."""
+    _ensure_builtin_backends()
+    try:
+        return _BACKENDS[str(backend_id)]
+    except KeyError:
+        raise UnknownBackendError(
+            f"unknown backend {backend_id!r}; available backends: "
+            f"{', '.join(available_backends())}"
+        ) from None
+
+
+def create_index(
+    backend_id: str,
+    records: Sequence[Iterable[object]],
+    config: IndexConfig | None = None,
+) -> SimilarityIndex:
+    """Build a registered backend over a dataset.
+
+    ``config`` must be an instance of the backend's declared
+    ``config_type`` (or ``None`` for its defaults); a mismatched config
+    is rejected up front.
+    """
+    return get_backend(backend_id).from_records(records, config=config)
+
+
+# ------------------------------------------------------------------ snapshots
+def snapshot_tag(backend_id: str, version: int) -> np.ndarray:
+    """The ``api_meta`` npz entry a persistent backend embeds in its save."""
+    return np.array(
+        json.dumps(
+            {
+                "format": SNAPSHOT_FORMAT,
+                "backend": str(backend_id),
+                "version": int(version),
+            }
+        )
+    )
+
+
+def read_snapshot_tag(arrays: Mapping[str, np.ndarray]) -> dict | None:
+    """Parse the ``api_meta`` tag out of loaded npz arrays (``None`` if absent)."""
+    if API_META_KEY not in arrays:
+        return None
+    try:
+        tag = json.loads(str(arrays[API_META_KEY][()]))
+    except (json.JSONDecodeError, IndexError) as error:
+        raise SnapshotFormatError(f"malformed snapshot metadata: {error}") from error
+    if not isinstance(tag, dict) or tag.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotFormatError(
+            f"unrecognised snapshot format tag {tag!r} "
+            f"(this build reads {SNAPSHOT_FORMAT!r})"
+        )
+    return tag
+
+
+def open_index(path) -> SimilarityIndex:
+    """Open any saved index, dispatching on its embedded backend id.
+
+    Reads the snapshot's self-describing ``api_meta`` tag (falling back
+    to legacy payload sniffing for snapshots written before the tag
+    existed) and hands the file to the matching backend's ``load``.
+
+    Raises
+    ------
+    SnapshotFormatError
+        If the file is not a recognisable index snapshot.
+    UnknownBackendError
+        If the snapshot names a backend this build does not register.
+    """
+    try:
+        # A .npy (or other non-archive) file np.load accepts comes back as
+        # a bare ndarray without `files`/context-manager support — reject
+        # it as a format error like any other unrecognisable file.
+        with np.load(path, allow_pickle=False) as data:
+            files = set(data.files)
+            tag = read_snapshot_tag(
+                {API_META_KEY: data[API_META_KEY]} if API_META_KEY in files else {}
+            )
+    except (OSError, TypeError, ValueError, zipfile.BadZipFile) as error:
+        raise SnapshotFormatError(
+            f"cannot read {path!r} as an index snapshot: {error}"
+        ) from error
+    if tag is not None:
+        backend_id = str(tag.get("backend", ""))
+    else:
+        backend_id = next(
+            (
+                backend
+                for key, backend in _LEGACY_PAYLOAD_KEYS.items()
+                if key in files
+            ),
+            "",
+        )
+        if not backend_id:
+            raise SnapshotFormatError(
+                f"{path!r} is not a repro index snapshot (no {API_META_KEY!r} "
+                "tag and no recognisable legacy payload)"
+            )
+    return get_backend(backend_id).load(path)

@@ -1,0 +1,31 @@
+"""The result type shared by every search backend.
+
+Lives in :mod:`repro.api` because it is part of the public index
+protocol: every :class:`~repro.api.SimilarityIndex` backend — native or
+adapted — returns its hits as :class:`SearchResult` tuples.
+:mod:`repro.core.index` re-exports it, so historical imports keep
+working.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class SearchResult(NamedTuple):
+    """One hit of a containment similarity search.
+
+    A ``NamedTuple`` rather than a dataclass: result lists run to tens of
+    thousands of hits per workload, and tuple construction is what keeps
+    materialising them off the query-engine profile.
+
+    Attributes
+    ----------
+    record_id:
+        Position of the record in the indexed dataset.
+    score:
+        Estimated containment similarity ``Ĉ(Q, X)``.
+    """
+
+    record_id: int
+    score: float

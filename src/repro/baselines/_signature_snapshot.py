@@ -1,0 +1,90 @@
+"""Shared npz snapshot plumbing for the signature-matrix baselines.
+
+LSH Ensemble and asymmetric MinHash persist the same way: a JSON meta
+payload, the stacked ``(num_records, num_perm)`` signature matrix and
+the record sizes — everything else (partitions, banded tables) is a
+deterministic function of those and is rebuilt on load.  The two
+backends share this writer/reader so format handling (version checks,
+missing-payload and missing-column errors, the self-describing
+``api_meta`` tag) cannot drift between them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+import numpy as np
+
+from repro._errors import SnapshotFormatError
+from repro.api.registry import snapshot_tag
+from repro.minhash.signature import MinHashSignature
+
+
+def save_signature_snapshot(
+    path,
+    *,
+    backend_id: str,
+    meta_key: str,
+    version: int,
+    meta: dict,
+    signatures: Sequence[MinHashSignature],
+    num_perm: int,
+    record_sizes: Sequence[int],
+) -> None:
+    """Write a self-describing signature-matrix snapshot."""
+    payload = {"format_version": version, **meta}
+    matrix = (
+        np.stack([signature.values for signature in signatures])
+        if signatures
+        else np.empty((0, num_perm), dtype=np.float64)
+    )
+    np.savez_compressed(
+        path,
+        api_meta=snapshot_tag(backend_id, version),
+        **{meta_key: np.array(json.dumps(payload))},
+        signatures=matrix,
+        record_sizes=np.asarray(record_sizes, dtype=np.int64),
+    )
+
+
+def load_signature_snapshot(
+    path, *, meta_key: str, version: int, kind: str
+) -> tuple[dict, np.ndarray, np.ndarray]:
+    """Read and validate a snapshot written by :func:`save_signature_snapshot`.
+
+    Returns ``(meta, signatures, record_sizes)``.
+
+    Raises
+    ------
+    SnapshotFormatError
+        If the file lacks the backend's meta payload, is missing a
+        column, or was written by an unsupported format version.
+    """
+    with np.load(path) as data:
+        if meta_key not in data.files:
+            raise SnapshotFormatError(
+                f"{path!r} is not {kind} snapshot (no {meta_key} payload); "
+                "use repro.api.open_index for other backends"
+            )
+        try:
+            meta = json.loads(str(data[meta_key][()]))
+        except json.JSONDecodeError as error:
+            raise SnapshotFormatError(
+                f"malformed {kind} snapshot metadata: {error}"
+            ) from error
+        try:
+            signatures = np.asarray(data["signatures"], dtype=np.float64)
+            record_sizes = np.asarray(data["record_sizes"], dtype=np.int64)
+        except KeyError as error:
+            raise SnapshotFormatError(
+                f"{kind} snapshot is missing column {error}; the payload is "
+                "truncated or from an unsupported layout"
+            ) from error
+    got = meta.get("format_version")
+    if got != version:
+        raise SnapshotFormatError(
+            f"unsupported {kind} snapshot version {got!r} "
+            f"(this build reads version {version})"
+        )
+    return meta, signatures, record_sizes

@@ -20,10 +20,20 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro._errors import ConfigurationError, EmptyDatasetError
+from repro.baselines._signature_snapshot import (
+    load_signature_snapshot,
+    save_signature_snapshot,
+)
 from repro.core.index import SearchResult
 from repro.hashing import HashFamily
 from repro.minhash.lsh import MinHashLSH, optimal_lsh_params
 from repro.minhash.signature import MinHashSignature
+
+#: Registry id the :mod:`repro.api` adapter exposes this index under.
+AMH_BACKEND_ID = "asymmetric-minhash"
+
+#: Version tag written into asymmetric-MinHash snapshots.
+AMH_SNAPSHOT_VERSION = 1
 
 
 def padded_jaccard_threshold(
@@ -96,12 +106,78 @@ class AsymmetricMinHashIndex:
             MinHashSignature.from_record(self._pad(record, record_id), self._family)
             for record_id, record in enumerate(materialized)
         ]
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        """(Re)build the banded tables from the padded signatures alone."""
+        self._tables = {}
         for rows in self._allowed_rows:
             bands = self._num_perm // rows
             table = MinHashLSH(num_bands=bands, rows_per_band=rows)
             for record_id, signature in enumerate(self._signatures):
                 table.insert(record_id, signature)
             self._tables[rows] = table
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path) -> None:
+        """Snapshot the index to one self-describing npz file.
+
+        The padded-record signatures already encode the asymmetric
+        padding, so the snapshot holds only the signature matrix, the
+        record sizes, the padded-to maximum and the build parameters;
+        :meth:`load` rebuilds the banded tables deterministically.
+        """
+        save_signature_snapshot(
+            path,
+            backend_id=AMH_BACKEND_ID,
+            meta_key="amh_meta",
+            version=AMH_SNAPSHOT_VERSION,
+            meta={
+                "num_perm": self._num_perm,
+                "seed": self._family.seed,
+                "false_positive_weight": self._fp_weight,
+                "false_negative_weight": self._fn_weight,
+                "max_record_size": self._max_record_size,
+            },
+            signatures=self._signatures,
+            num_perm=self._num_perm,
+            record_sizes=self._record_sizes,
+        )
+
+    @classmethod
+    def load(cls, path) -> "AsymmetricMinHashIndex":
+        """Restore an index saved with :meth:`save` (identical candidates).
+
+        Raises
+        ------
+        SnapshotFormatError
+            If the file is not an asymmetric-MinHash snapshot or was
+            written by an unsupported format version.
+        """
+        meta, signatures, record_sizes = load_signature_snapshot(
+            path,
+            meta_key="amh_meta",
+            version=AMH_SNAPSHOT_VERSION,
+            kind="an asymmetric-MinHash",
+        )
+        index = cls(
+            num_perm=int(meta["num_perm"]),
+            seed=int(meta["seed"]),
+            false_positive_weight=float(meta["false_positive_weight"]),
+            false_negative_weight=float(meta["false_negative_weight"]),
+        )
+        index._record_sizes = [int(size) for size in record_sizes]
+        index._max_record_size = int(meta["max_record_size"])
+        index._signatures = [
+            MinHashSignature(
+                values=signatures[row],
+                record_size=max(index._max_record_size, 1),
+                family=index._family,
+            )
+            for row in range(signatures.shape[0])
+        ]
+        index._build_tables()
+        return index
 
     # ------------------------------------------------------------ introspection
     @property

@@ -31,7 +31,10 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro._errors import ConfigurationError, EmptyDatasetError
+from repro._errors import ConfigurationError, EmptyDatasetError, SnapshotFormatError
+from repro.api.config import GKMVConfig, KMVConfig
+from repro.api.interface import Capabilities, SimilarityIndex
+from repro.api.registry import snapshot_tag
 from repro.core.batched import KMVBatchEstimator
 from repro.core.bulk import bulk_kmv_value_rows, flatten_records, resolve_space_budget
 from repro.core.index import (
@@ -51,8 +54,14 @@ KMV_SNAPSHOT_VERSION = 1
 KMV_COMPACT_RATIO = 0.25
 
 
-class KMVSearchIndex:
+class KMVSearchIndex(SimilarityIndex):
     """Plain-KMV containment similarity search with equal allocation."""
+
+    backend_id = "kmv"
+    config_type = KMVConfig
+    capabilities = Capabilities(
+        dynamic=True, batched=True, persistent=True, exact=False, scored=True
+    )
 
     def __init__(
         self,
@@ -129,6 +138,22 @@ class KMVSearchIndex:
         for record in materialized:
             index._add_record(record)
         return index
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[Iterable[object]],
+        config: KMVConfig | None = None,
+    ) -> "KMVSearchIndex":
+        """:mod:`repro.api` entry point: :meth:`build` under a typed config."""
+        config = cls.resolve_config(config)
+        return cls.build(
+            records,
+            space_fraction=config.space_fraction,
+            space_budget=config.space_budget,
+            seed=config.seed,
+            method=config.method,
+        )
 
     def _extend_rows(
         self, value_rows: list[np.ndarray], record_sizes: list[int]
@@ -276,6 +301,7 @@ class KMVSearchIndex:
         }
         np.savez_compressed(
             path,
+            api_meta=snapshot_tag(self.backend_id, KMV_SNAPSHOT_VERSION),
             kmv_meta=np.array(json.dumps(meta)),
             values=values,
             offsets=offsets,
@@ -286,17 +312,40 @@ class KMVSearchIndex:
 
     @classmethod
     def load(cls, path) -> "KMVSearchIndex":
-        """Restore an index saved with :meth:`save` (bitwise-identical search)."""
+        """Restore an index saved with :meth:`save` (bitwise-identical search).
+
+        Raises
+        ------
+        SnapshotFormatError
+            If the file is not a KMV snapshot or was written by an
+            unsupported format version.
+        """
         with np.load(path) as data:
-            meta = json.loads(str(data["kmv_meta"][()]))
-            values = np.asarray(data["values"], dtype=np.float64)
-            offsets = np.asarray(data["offsets"], dtype=np.int64)
-            record_sizes = np.asarray(data["record_sizes"], dtype=np.int64)
-            row_ids = np.asarray(data["row_ids"], dtype=np.int64)
-            alive = np.asarray(data["alive"], dtype=bool)
+            if "kmv_meta" not in data.files:
+                raise SnapshotFormatError(
+                    f"{path!r} is not a KMV index snapshot (no kmv_meta "
+                    "payload); use repro.api.open_index for other backends"
+                )
+            try:
+                meta = json.loads(str(data["kmv_meta"][()]))
+            except json.JSONDecodeError as error:
+                raise SnapshotFormatError(
+                    f"malformed KMV snapshot metadata: {error}"
+                ) from error
+            try:
+                values = np.asarray(data["values"], dtype=np.float64)
+                offsets = np.asarray(data["offsets"], dtype=np.int64)
+                record_sizes = np.asarray(data["record_sizes"], dtype=np.int64)
+                row_ids = np.asarray(data["row_ids"], dtype=np.int64)
+                alive = np.asarray(data["alive"], dtype=bool)
+            except KeyError as error:
+                raise SnapshotFormatError(
+                    f"KMV snapshot is missing column {error}; the payload is "
+                    "truncated or from an unsupported layout"
+                ) from error
         version = meta.get("format_version")
         if version != KMV_SNAPSHOT_VERSION:
-            raise ConfigurationError(
+            raise SnapshotFormatError(
                 f"unsupported KMV snapshot version {version!r} "
                 f"(this build reads version {KMV_SNAPSHOT_VERSION})"
             )
@@ -463,8 +512,14 @@ class KMVSearchIndex:
         )
 
 
-class GKMVSearchIndex:
+class GKMVSearchIndex(SimilarityIndex):
     """G-KMV containment search: a GB-KMV index constrained to buffer size 0."""
+
+    backend_id = "gkmv"
+    config_type = GKMVConfig
+    capabilities = Capabilities(
+        dynamic=True, batched=True, persistent=True, exact=False, scored=True
+    )
 
     def __init__(self, inner: GBKMVIndex) -> None:
         self._inner = inner
@@ -491,10 +546,30 @@ class GKMVSearchIndex:
         )
         return cls(inner)
 
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[Iterable[object]],
+        config: GKMVConfig | None = None,
+    ) -> "GKMVSearchIndex":
+        """:mod:`repro.api` entry point: :meth:`build` under a typed config."""
+        config = cls.resolve_config(config)
+        return cls.build(
+            records,
+            space_fraction=config.space_fraction,
+            space_budget=config.space_budget,
+            seed=config.seed,
+            method=config.method,
+        )
+
     @property
     def inner(self) -> GBKMVIndex:
         """The underlying zero-buffer GB-KMV index."""
         return self._inner
+
+    def statistics(self):
+        """Summary statistics of the inner zero-buffer GB-KMV index."""
+        return self._inner.statistics()
 
     @property
     def threshold(self) -> float:
@@ -535,8 +610,13 @@ class GKMVSearchIndex:
         return self._inner.update(record_id, record)
 
     def save(self, path) -> None:
-        """Snapshot the inner zero-buffer GB-KMV index to npz."""
-        self._inner.save(path)
+        """Snapshot the inner zero-buffer GB-KMV index to npz.
+
+        The snapshot's ``api_meta`` tag names *this* backend, so
+        :func:`repro.api.open_index` restores it as a
+        :class:`GKMVSearchIndex` rather than a bare GB-KMV index.
+        """
+        self._inner.save(path, backend_id=self.backend_id)
 
     @classmethod
     def load(cls, path) -> "GKMVSearchIndex":
@@ -581,4 +661,22 @@ class GKMVSearchIndex:
             query_sizes=query_sizes,
             row_block_size=row_block_size,
             kernels=kernels,
+        )
+
+    def top_k(
+        self, query: Iterable[object], k: int, query_size: int | None = None
+    ) -> list[SearchResult]:
+        """The ``k`` best-scoring records under the G-KMV estimator."""
+        return self._inner.top_k(query, k, query_size=query_size)
+
+    def top_k_many(
+        self,
+        queries: Sequence[Iterable[object]],
+        k: int,
+        query_sizes: Sequence[int] | None = None,
+        row_block_size: int | None = None,
+    ) -> list[list[SearchResult]]:
+        """Workload variant of :meth:`top_k` on the inner fused engine."""
+        return self._inner.top_k_many(
+            queries, k, query_sizes=query_sizes, row_block_size=row_block_size
         )

@@ -28,10 +28,20 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro._errors import ConfigurationError, EmptyDatasetError
+from repro.baselines._signature_snapshot import (
+    load_signature_snapshot,
+    save_signature_snapshot,
+)
 from repro.core.index import SearchResult
 from repro.hashing import HashFamily
 from repro.minhash.lsh import MinHashLSH, optimal_lsh_params
 from repro.minhash.signature import MinHashSignature
+
+#: Registry id the :mod:`repro.api` adapter exposes this index under.
+LSHE_BACKEND_ID = "lsh-ensemble"
+
+#: Version tag written into LSH Ensemble snapshots.
+LSHE_SNAPSHOT_VERSION = 1
 
 
 def containment_to_jaccard(containment: float, record_size: float, query_size: float) -> float:
@@ -77,6 +87,7 @@ class LSHEnsembleIndex:
         seed: int = 0,
         false_positive_weight: float = 0.5,
         false_negative_weight: float = 0.5,
+        verify: bool = False,
     ) -> None:
         if num_perm < 2:
             raise ConfigurationError("num_perm must be >= 2")
@@ -87,6 +98,8 @@ class LSHEnsembleIndex:
         self._family = HashFamily(size=self._num_perm, seed=seed)
         self._fp_weight = float(false_positive_weight)
         self._fn_weight = float(false_negative_weight)
+        #: Default verification mode of :meth:`search` (persisted by save).
+        self._verify_default = bool(verify)
         self._signatures: list[MinHashSignature] = []
         self._record_sizes: list[int] = []
         self._partitions: list[_Partition] = []
@@ -109,6 +122,7 @@ class LSHEnsembleIndex:
         seed: int = 0,
         false_positive_weight: float = 0.5,
         false_negative_weight: float = 0.5,
+        verify: bool = False,
     ) -> "LSHEnsembleIndex":
         """Build the ensemble over a dataset of records."""
         index = cls(
@@ -117,6 +131,7 @@ class LSHEnsembleIndex:
             seed=seed,
             false_positive_weight=false_positive_weight,
             false_negative_weight=false_negative_weight,
+            verify=verify,
         )
         index._index_records(records)
         return index
@@ -133,7 +148,16 @@ class LSHEnsembleIndex:
             MinHashSignature.from_record(record, self._family) for record in materialized
         ]
         self._record_sizes = [len(record) for record in materialized]
+        self._build_partitions()
+        self._construction_seconds = time.perf_counter() - start
 
+    def _build_partitions(self) -> None:
+        """(Re)build the equal-depth partitions and their banded tables.
+
+        Deterministic in the signatures and record sizes alone, which is
+        what lets :meth:`load` restore an index from its persisted
+        signature matrix without the original records.
+        """
         order = np.argsort(np.asarray(self._record_sizes), kind="stable")
         partitions_of_ids = np.array_split(order, self._num_partitions)
         partitions: list[_Partition] = []
@@ -158,7 +182,77 @@ class LSHEnsembleIndex:
                 )
             )
         self._partitions = partitions
-        self._construction_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path) -> None:
+        """Snapshot the ensemble to one self-describing npz file.
+
+        The signature matrix, record sizes and build parameters
+        (including the default verification mode) are everything
+        :meth:`load` needs: the partitions and banded tables are a
+        deterministic function of the signatures and sizes, so they are
+        rebuilt rather than serialised.
+        """
+        save_signature_snapshot(
+            path,
+            backend_id=LSHE_BACKEND_ID,
+            meta_key="lshe_meta",
+            version=LSHE_SNAPSHOT_VERSION,
+            meta={
+                "num_perm": self._num_perm,
+                "num_partitions": self._num_partitions,
+                "seed": self._family.seed,
+                "false_positive_weight": self._fp_weight,
+                "false_negative_weight": self._fn_weight,
+                "verify": self._verify_default,
+                "construction_seconds": self._construction_seconds,
+            },
+            signatures=self._signatures,
+            num_perm=self._num_perm,
+            record_sizes=self._record_sizes,
+        )
+
+    @classmethod
+    def load(cls, path) -> "LSHEnsembleIndex":
+        """Restore an ensemble saved with :meth:`save`.
+
+        The restored index answers :meth:`search` identically: the hash
+        family is rebuilt from its seed, the persisted signatures are
+        re-partitioned and re-inserted, the default verification mode is
+        restored, and the per-query parameter optimisation is untouched.
+
+        Raises
+        ------
+        SnapshotFormatError
+            If the file is not an LSH Ensemble snapshot or was written
+            by an unsupported format version.
+        """
+        meta, signatures, record_sizes = load_signature_snapshot(
+            path,
+            meta_key="lshe_meta",
+            version=LSHE_SNAPSHOT_VERSION,
+            kind="an LSH Ensemble",
+        )
+        index = cls(
+            num_perm=int(meta["num_perm"]),
+            num_partitions=int(meta["num_partitions"]),
+            seed=int(meta["seed"]),
+            false_positive_weight=float(meta["false_positive_weight"]),
+            false_negative_weight=float(meta["false_negative_weight"]),
+            verify=bool(meta.get("verify", False)),
+        )
+        index._record_sizes = [int(size) for size in record_sizes]
+        index._signatures = [
+            MinHashSignature(
+                values=signatures[row],
+                record_size=index._record_sizes[row],
+                family=index._family,
+            )
+            for row in range(signatures.shape[0])
+        ]
+        index._build_partitions()
+        index._construction_seconds = float(meta["construction_seconds"])
+        return index
 
     # ------------------------------------------------------------ introspection
     @property
@@ -180,6 +274,11 @@ class LSHEnsembleIndex:
     def construction_seconds(self) -> float:
         """Wall-clock time spent building signatures and tables."""
         return self._construction_seconds
+
+    @property
+    def verify_default(self) -> bool:
+        """Whether :meth:`search` verifies candidates by default."""
+        return self._verify_default
 
     def __len__(self) -> int:
         return self.num_records
@@ -233,7 +332,7 @@ class LSHEnsembleIndex:
         query: Iterable[object],
         threshold: float,
         query_size: int | None = None,
-        verify: bool = False,
+        verify: bool | None = None,
     ) -> list[SearchResult]:
         """Containment similarity search (Section III-A).
 
@@ -249,6 +348,8 @@ class LSHEnsembleIndex:
             When True, candidates are additionally filtered by the
             signature-based containment estimator (Equation 15).  The
             original LSH-E returns raw candidates (``verify=False``).
+            ``None`` (default) uses the index's build-time
+            :attr:`verify_default`.
 
         Returns
         -------
@@ -259,6 +360,8 @@ class LSHEnsembleIndex:
         """
         if not 0.0 <= threshold <= 1.0:
             raise ConfigurationError("threshold must be in [0, 1]")
+        if verify is None:
+            verify = self._verify_default
         query_elements = set(query)
         if not query_elements:
             raise ConfigurationError("query must contain at least one element")

@@ -44,11 +44,15 @@ import base64
 import json
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Iterator, NamedTuple, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro._errors import ConfigurationError, EmptyDatasetError
+from repro._errors import ConfigurationError, EmptyDatasetError, SnapshotFormatError
+from repro.api.config import GBKMVConfig
+from repro.api.interface import Capabilities, SimilarityIndex
+from repro.api.registry import snapshot_tag
+from repro.api.results import SearchResult
 from repro.core.batched import residual_intersection_estimates
 from repro.core.buffer import (
     BITS_PER_SIGNATURE_UNIT,
@@ -73,25 +77,6 @@ from repro.core.gbkmv import GBKMVSketch
 from repro.core.gkmv import GKMVSketch
 from repro.core.store import ColumnarSketchStore
 from repro.hashing import UnitHash
-
-
-class SearchResult(NamedTuple):
-    """One hit of a containment similarity search.
-
-    A ``NamedTuple`` rather than a dataclass: result lists run to tens of
-    thousands of hits per workload, and tuple construction is what keeps
-    materialising them off the query-engine profile.
-
-    Attributes
-    ----------
-    record_id:
-        Position of the record in the indexed dataset.
-    score:
-        Estimated containment similarity ``Ĉ(Q, X)``.
-    """
-
-    record_id: int
-    score: float
 
 
 @dataclass(frozen=True)
@@ -284,13 +269,20 @@ class _PreparedQuery:
         return bool(self.values.size >= self.residual_size)
 
 
-class GBKMVIndex:
+class GBKMVIndex(SimilarityIndex):
     """GB-KMV sketches in columnar storage plus a batched query engine.
 
     Build with :meth:`build` (which chooses the buffer size via the cost
-    model unless one is supplied) rather than calling ``__init__``
-    directly.
+    model unless one is supplied) or, through the unified
+    :mod:`repro.api` surface, with :meth:`from_records` — rather than
+    calling ``__init__`` directly.
     """
+
+    backend_id = "gbkmv"
+    config_type = GBKMVConfig
+    capabilities = Capabilities(
+        dynamic=True, batched=True, persistent=True, exact=False, scored=True
+    )
 
     def __init__(
         self,
@@ -418,6 +410,24 @@ class GBKMVIndex:
         )
         index._ingest_bulk(flat, lookup=lookup, unique_hashes=unique_hashes)
         return index
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[Iterable[object]],
+        config: GBKMVConfig | None = None,
+    ) -> "GBKMVIndex":
+        """:mod:`repro.api` entry point: :meth:`build` under a typed config."""
+        config = cls.resolve_config(config)
+        return cls.build(
+            records,
+            space_fraction=config.space_fraction,
+            space_budget=config.space_budget,
+            buffer_size=config.buffer_size,
+            seed=config.seed,
+            cost_model_pair_sample=config.cost_model_pair_sample,
+            method=config.method,
+        )
 
     @classmethod
     def _build_per_record(
@@ -779,13 +789,16 @@ class GBKMVIndex:
     # ------------------------------------------------------------ persistence
     SNAPSHOT_FORMAT_VERSION = 1
 
-    def save(self, path) -> None:
-        """Snapshot the full index state to one npz file.
+    def save(self, path, backend_id: str | None = None) -> None:
+        """Snapshot the full index state to one self-describing npz file.
 
         Everything :meth:`load` needs to answer queries identically is
         written: the store's columns (CSR values, signatures, size
         columns, row ids, tombstones), the frequent-element vocabulary,
-        the global threshold ``τ``, the space budget and the hasher seed.
+        the global threshold ``τ``, the space budget and the hasher seed
+        — plus the ``api_meta`` tag :func:`repro.api.open_index`
+        dispatches on.  ``backend_id`` overrides the tag's backend for
+        wrappers that persist through this index (the G-KMV baseline).
         """
         meta = {
             "format_version": self.SNAPSHOT_FORMAT_VERSION,
@@ -796,6 +809,9 @@ class GBKMVIndex:
         }
         np.savez_compressed(
             path,
+            api_meta=snapshot_tag(
+                backend_id or self.backend_id, self.SNAPSHOT_FORMAT_VERSION
+            ),
             index_meta=np.array(json.dumps(meta)),
             **self._store.state_arrays(),
         )
@@ -808,13 +824,33 @@ class GBKMVIndex:
         with bitwise-identical scores (same values, same vocabulary, same
         hasher seed ⇒ same estimator arithmetic) and keeps every dynamic
         capability — insert, delete, update, refit — of the original.
+
+        Raises
+        ------
+        SnapshotFormatError
+            If the file is not a GB-KMV snapshot or was written by an
+            unsupported format version.
         """
         with np.load(path) as data:
-            meta = json.loads(str(data["index_meta"][()]))
-            arrays = {name: data[name] for name in data.files if name != "index_meta"}
+            if "index_meta" not in data.files:
+                raise SnapshotFormatError(
+                    f"{path!r} is not a GB-KMV index snapshot (no index_meta "
+                    "payload); use repro.api.open_index for other backends"
+                )
+            try:
+                meta = json.loads(str(data["index_meta"][()]))
+            except json.JSONDecodeError as error:
+                raise SnapshotFormatError(
+                    f"malformed GB-KMV snapshot metadata: {error}"
+                ) from error
+            arrays = {
+                name: data[name]
+                for name in data.files
+                if name not in ("index_meta", "api_meta")
+            }
         version = meta.get("format_version")
         if version != cls.SNAPSHOT_FORMAT_VERSION:
-            raise ConfigurationError(
+            raise SnapshotFormatError(
                 f"unsupported index snapshot version {version!r} "
                 f"(this build reads version {cls.SNAPSHOT_FORMAT_VERSION})"
             )
@@ -825,7 +861,13 @@ class GBKMVIndex:
             hasher=UnitHash(seed=int(meta["hasher_seed"])),
             budget=float(meta["budget"]),
         )
-        index._store = ColumnarSketchStore.from_state(arrays)
+        try:
+            index._store = ColumnarSketchStore.from_state(arrays)
+        except KeyError as error:
+            raise SnapshotFormatError(
+                f"GB-KMV snapshot is missing store column {error}; "
+                "the payload is truncated or from an unsupported layout"
+            ) from error
         if index._store.signature_bits != vocabulary.size:
             raise ConfigurationError(
                 "snapshot signature width does not match its vocabulary size"

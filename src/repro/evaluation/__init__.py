@@ -23,6 +23,7 @@ from repro.evaluation.harness import (
     evaluate_search_method,
     run_dynamic_experiment,
     run_experiment,
+    supports_operation,
     time_construction,
 )
 from repro.evaluation.reporting import format_table, series_to_rows
@@ -42,6 +43,7 @@ __all__ = [
     "evaluate_search_method",
     "run_dynamic_experiment",
     "run_experiment",
+    "supports_operation",
     "time_construction",
     "format_table",
     "series_to_rows",

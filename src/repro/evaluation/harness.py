@@ -18,6 +18,15 @@ insert/delete/query streams*
 exposing the dynamic API — :func:`evaluate_dynamic_stream` measures
 accuracy against the per-instant exact ground truth plus separate
 mutation and query throughput.
+
+Every harness entry point drives searchers through the unified
+:class:`repro.api.SimilarityIndex` protocol: what a backend supports is
+read off its :class:`~repro.api.Capabilities` declaration (with a
+duck-typing fallback for plain objects that merely quack like a
+searcher), so there is no per-method special-casing anywhere below.
+The historical :class:`Searcher` / :class:`BatchSearcher` /
+:class:`DynamicSearcher` protocols remain as deprecated aliases for
+callers that still type-check against them.
 """
 
 from __future__ import annotations
@@ -29,13 +38,41 @@ from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
 import numpy as np
 
 from repro._errors import ConfigurationError
+from repro.api.interface import SimilarityIndex
 from repro.evaluation.ground_truth import exact_result_sets
 from repro.evaluation.metrics import ConfusionCounts
 
 
+def supports_operation(searcher, operation: str) -> bool:
+    """Whether a searcher supports an operation of the unified protocol.
+
+    :class:`~repro.api.SimilarityIndex` backends answer from their
+    declared :class:`~repro.api.Capabilities` — ``search`` and
+    ``search_many`` are always available (the interface supplies generic
+    fallbacks), mutations require ``dynamic``, snapshots ``persistent``
+    and top-k ``scored``.  Anything else falls back to duck typing, so
+    the harness keeps accepting plain searcher objects that never
+    registered as backends.
+    """
+    if isinstance(searcher, SimilarityIndex):
+        capabilities = searcher.capabilities
+        if operation in ("insert", "insert_many", "delete", "update"):
+            return capabilities.dynamic
+        if operation in ("save", "load"):
+            return capabilities.persistent
+        if operation in ("top_k", "top_k_many"):
+            return capabilities.scored
+        return True
+    return callable(getattr(searcher, operation, None))
+
+
 @runtime_checkable
 class Searcher(Protocol):
-    """Anything with a ``search(query, threshold)`` method returning scored hits."""
+    """Deprecated alias: use :class:`repro.api.SimilarityIndex`.
+
+    Anything with a ``search(query, threshold)`` method returning scored
+    hits satisfies it; the harness no longer checks against it.
+    """
 
     def search(self, query, threshold, query_size=None):  # pragma: no cover - protocol
         """Return hits with ``record_id`` attributes (or plain record ids)."""
@@ -44,7 +81,8 @@ class Searcher(Protocol):
 
 @runtime_checkable
 class BatchSearcher(Protocol):
-    """Searchers that also answer a whole workload in one batched call."""
+    """Deprecated alias: use :class:`repro.api.SimilarityIndex` with
+    :func:`supports_operation` (``search_many`` is always available there)."""
 
     def search(self, query, threshold, query_size=None):  # pragma: no cover - protocol
         """Return hits with ``record_id`` attributes (or plain record ids)."""
@@ -138,15 +176,17 @@ def evaluate_search_method(
 ) -> MethodEvaluation:
     """Run every query through a searcher and aggregate accuracy and timing.
 
-    Searchers exposing the :class:`BatchSearcher` protocol are driven
-    through ``search_many`` (one engine call for the whole workload)
-    unless ``use_batched`` is false; everything else falls back to the
-    per-query loop.  The two paths return identical hits, so accuracy
-    numbers are unaffected — only the measured query time changes.
+    Searchers supporting ``search_many`` (every
+    :class:`~repro.api.SimilarityIndex`, plus anything duck-typed with
+    the method) are driven through it — one engine call for the whole
+    workload — unless ``use_batched`` is false; everything else falls
+    back to the per-query loop.  The two paths return identical hits, so
+    accuracy numbers are unaffected — only the measured query time
+    changes.
     """
     if len(queries) != len(ground_truth):
         raise ConfigurationError("queries and ground_truth must have the same length")
-    batched = use_batched and isinstance(searcher, BatchSearcher)
+    batched = use_batched and supports_operation(searcher, "search_many")
     start = time.perf_counter()
     if batched:
         all_hits = searcher.search_many(queries, threshold)
@@ -170,7 +210,9 @@ def evaluate_search_method(
 
 @runtime_checkable
 class DynamicSearcher(Protocol):
-    """Searchers that also absorb inserts and deletes under stable record ids."""
+    """Deprecated alias: use :class:`repro.api.SimilarityIndex` with
+    ``capabilities.dynamic`` — searchers that absorb inserts and deletes
+    under stable record ids."""
 
     def search(self, query, threshold, query_size=None):  # pragma: no cover - protocol
         """Return hits with ``record_id`` attributes (or plain record ids)."""
@@ -231,7 +273,7 @@ def evaluate_dynamic_stream(
     num_inserts = num_deletes = 0
     mutation_seconds = query_seconds = 0.0
     operations = list(workload.operations)
-    use_batches = batch_inserts and hasattr(searcher, "insert_many")
+    use_batches = batch_inserts and supports_operation(searcher, "insert_many")
     position = 0
     while position < len(operations):
         operation = operations[position]

@@ -1,0 +1,120 @@
+"""Public-API surface snapshot: what :mod:`repro.api` exports is pinned.
+
+Any change to the exported names or the registered backend set is a
+deliberate, reviewed API change — this test makes it impossible to
+drift silently.  Adding a name means updating the snapshot here (and
+the README capability matrix).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.api as api
+
+#: The complete exported surface of ``repro.api``.
+EXPECTED_EXPORTS = {
+    # protocol
+    "SimilarityIndex",
+    "Capabilities",
+    "BackendStatistics",
+    "SearchResult",
+    # configs
+    "IndexConfig",
+    "GBKMVConfig",
+    "KMVConfig",
+    "GKMVConfig",
+    "LSHEnsembleConfig",
+    "AsymmetricMinHashConfig",
+    "ExactSearchConfig",
+    # registry
+    "create_index",
+    "open_index",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    # errors
+    "CapabilityError",
+    "ConfigurationError",
+    "SnapshotFormatError",
+    "UnknownBackendError",
+    # convenience re-exports
+    "containment_similarity",
+    "jaccard_similarity",
+    "evaluate_search_method",
+    "exact_result_sets",
+    "generate_zipf_dataset",
+    "load_proxy",
+    "sample_queries",
+}
+
+#: Every backend id the registry must serve.
+EXPECTED_BACKENDS = (
+    "asymmetric-minhash",
+    "brute-force",
+    "frequent-set",
+    "gbkmv",
+    "gkmv",
+    "kmv",
+    "lsh-ensemble",
+    "ppjoin",
+)
+
+
+def test_all_matches_snapshot():
+    assert set(api.__all__) == EXPECTED_EXPORTS
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_EXPORTS))
+def test_every_export_resolves(name):
+    assert getattr(api, name) is not None
+
+
+def test_dir_covers_all_exports():
+    assert EXPECTED_EXPORTS <= set(dir(api))
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        api.no_such_export
+
+
+def test_registered_backends_match_snapshot():
+    assert api.available_backends() == EXPECTED_BACKENDS
+
+
+def test_every_backend_declares_its_contract():
+    for backend_id in api.available_backends():
+        backend = api.get_backend(backend_id)
+        assert issubclass(backend, api.SimilarityIndex)
+        assert backend.backend_id == backend_id
+        assert isinstance(backend.capabilities, api.Capabilities)
+        assert issubclass(backend.config_type, api.IndexConfig)
+        # No backend leaves the config slot on the catch-all base class.
+        assert backend.config_type is not api.IndexConfig
+
+
+def test_open_index_rejects_non_archive_numpy_files(tmp_path):
+    # np.load accepts a bare .npy but it is not an index snapshot: the
+    # promised error type is SnapshotFormatError, not a TypeError leak.
+    import numpy as np
+
+    path = tmp_path / "weights.npy"
+    np.save(path, np.arange(4))
+    with pytest.raises(api.SnapshotFormatError):
+        api.open_index(path)
+
+
+def test_loaders_wrap_malformed_metadata(tmp_path):
+    import numpy as np
+
+    from repro.baselines import AsymmetricMinHashIndex, KMVSearchIndex
+
+    for key, loader in (
+        ("kmv_meta", KMVSearchIndex.load),
+        ("amh_meta", AsymmetricMinHashIndex.load),
+    ):
+        path = tmp_path / f"bad_{key}.npz"
+        np.savez_compressed(path, **{key: np.array("{not json")})
+        with pytest.raises(api.SnapshotFormatError):
+            loader(path)

@@ -68,3 +68,29 @@ class TestAsymmetricMinHashIndex:
         # Padding hurts recall on skewed sizes (the known weakness), but
         # near-duplicates of the query itself should still be found often.
         assert sum(recalls) / len(recalls) > 0.4
+
+
+class TestPersistence:
+    def test_round_trip_search_identical(self, zipf_records, tmp_path):
+        records = zipf_records[:100]
+        index = AsymmetricMinHashIndex.build(records, num_perm=64)
+        path = tmp_path / "amh.npz"
+        index.save(path)
+        loaded = AsymmetricMinHashIndex.load(path)
+        assert loaded.num_records == index.num_records
+        assert loaded.max_record_size == index.max_record_size
+        assert loaded.space_in_values() == index.space_in_values()
+        for query in records[:6]:
+            original = [(h.record_id, h.score) for h in index.search(query, 0.5)]
+            restored = [(h.record_id, h.score) for h in loaded.search(query, 0.5)]
+            assert original == restored
+
+    def test_wrong_snapshot_rejected(self, tiny_records, tmp_path):
+        from repro._errors import SnapshotFormatError
+        from repro.baselines import LSHEnsembleIndex
+
+        other = LSHEnsembleIndex.build(tiny_records, num_perm=16, num_partitions=2)
+        path = tmp_path / "lshe.npz"
+        other.save(path)
+        with pytest.raises(SnapshotFormatError):
+            AsymmetricMinHashIndex.load(path)

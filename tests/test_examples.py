@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs, and imports only ``repro.api``.
+
+The examples are the library's front door, so they are executed end to
+end (as subprocesses, exactly as a user would run them) and statically
+checked to come in through the public :mod:`repro.api` surface — no
+deep imports of core/baseline/exact internals.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+#: Expected stdout fragment per example, proving it ran to its report.
+EXPECTED_OUTPUT = {
+    "quickstart.py": "top-5 by estimated containment",
+    "domain_search.py": "best-matching domains",
+    "inclusion_dependency.py": "true foreign keys recovered",
+    "record_matching.py": "error-tolerant search",
+}
+
+
+def test_every_example_has_an_expectation():
+    assert set(EXAMPLES) == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_to_completion(example):
+    env = dict(os.environ)
+    src = str(EXAMPLES_DIR.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / example)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert EXPECTED_OUTPUT[example] in result.stdout
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_imports_only_the_public_api(example):
+    source = (EXAMPLES_DIR / example).read_text()
+    repro_imports = re.findall(
+        r"^\s*(?:from|import)\s+(repro[\w.]*)", source, flags=re.MULTILINE
+    )
+    assert repro_imports, f"{example} does not use the library at all?"
+    offenders = [name for name in repro_imports if name != "repro.api"]
+    assert not offenders, (
+        f"{example} deep-imports {offenders}; examples must come in "
+        "through repro.api only"
+    )

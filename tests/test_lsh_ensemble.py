@@ -134,3 +134,59 @@ class TestSearch:
         index = LSHEnsembleIndex.build(tiny_records, num_perm=16, num_partitions=2)
         signature = index.query_signature(example_query)
         assert signature.size == 16
+
+
+class TestPersistence:
+    def test_round_trip_search_identical(self, zipf_records, tmp_path):
+        records = zipf_records[:120]
+        index = LSHEnsembleIndex.build(records, num_perm=64, num_partitions=8)
+        path = tmp_path / "lshe.npz"
+        index.save(path)
+        loaded = LSHEnsembleIndex.load(path)
+        assert loaded.num_records == index.num_records
+        assert loaded.num_perm == index.num_perm
+        assert loaded.partition_bounds() == index.partition_bounds()
+        for query in records[:6]:
+            original = [(h.record_id, h.score) for h in index.search(query, 0.5)]
+            restored = [(h.record_id, h.score) for h in loaded.search(query, 0.5)]
+            assert original == restored
+
+    def test_round_trip_with_verification(self, zipf_records, tmp_path):
+        records = zipf_records[:60]
+        index = LSHEnsembleIndex.build(records, num_perm=32, num_partitions=4)
+        path = tmp_path / "lshe.npz"
+        index.save(path)
+        loaded = LSHEnsembleIndex.load(path)
+        query = records[0]
+        original = [(h.record_id, h.score) for h in index.search(query, 0.5, verify=True)]
+        restored = [(h.record_id, h.score) for h in loaded.search(query, 0.5, verify=True)]
+        assert original == restored
+
+    def test_wrong_snapshot_rejected(self, tiny_records, tmp_path):
+        from repro._errors import SnapshotFormatError
+        from repro.baselines import AsymmetricMinHashIndex
+
+        other = AsymmetricMinHashIndex.build(tiny_records, num_perm=16)
+        path = tmp_path / "amh.npz"
+        other.save(path)
+        with pytest.raises(SnapshotFormatError):
+            LSHEnsembleIndex.load(path)
+
+    def test_verify_default_round_trips(self, zipf_records, tmp_path):
+        records = zipf_records[:60]
+        index = LSHEnsembleIndex.build(
+            records, num_perm=32, num_partitions=4, verify=True
+        )
+        assert index.verify_default
+        path = tmp_path / "lshe.npz"
+        index.save(path)
+        loaded = LSHEnsembleIndex.load(path)
+        assert loaded.verify_default
+        query = records[0]
+        # Default-mode search must verify on both sides (scored hits).
+        original = [(h.record_id, h.score) for h in index.search(query, 0.5)]
+        restored = [(h.record_id, h.score) for h in loaded.search(query, 0.5)]
+        assert original == restored
+        assert original == [
+            (h.record_id, h.score) for h in index.search(query, 0.5, verify=True)
+        ]

@@ -128,3 +128,112 @@ class TestBaselineRoundTrips:
         assert _flatten(index.search_many(fig17_workload, 0.5)) == _flatten(
             loaded.search_many(fig17_workload, 0.5)
         )
+
+
+class TestSnapshotFormat:
+    """Self-describing snapshots: tags, legacy payloads, clear failures."""
+
+    def test_version_mismatch_raises_snapshot_format_error(
+        self, tiny_records, tmp_path
+    ):
+        import json
+
+        from repro._errors import SnapshotFormatError
+
+        index = GBKMVIndex.build(tiny_records, space_fraction=1.0)
+        path = tmp_path / "gbkmv.npz"
+        index.save(path)
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        meta = json.loads(str(arrays["index_meta"][()]))
+        meta["format_version"] = 99
+        arrays["index_meta"] = np.array(json.dumps(meta))
+        bad_path = tmp_path / "bad.npz"
+        np.savez_compressed(bad_path, **arrays)
+        with pytest.raises(SnapshotFormatError):
+            GBKMVIndex.load(bad_path)
+
+    def test_foreign_payload_raises_snapshot_format_error(self, tmp_path):
+        from repro._errors import SnapshotFormatError
+
+        path = tmp_path / "not_an_index.npz"
+        np.savez_compressed(path, some_array=np.arange(5))
+        with pytest.raises(SnapshotFormatError):
+            GBKMVIndex.load(path)
+        with pytest.raises(SnapshotFormatError):
+            KMVSearchIndex.load(path)
+
+    def test_truncated_payload_raises_snapshot_format_error(
+        self, tiny_records, tmp_path
+    ):
+        from repro._errors import SnapshotFormatError
+
+        index = GBKMVIndex.build(tiny_records, space_fraction=1.0)
+        path = tmp_path / "gbkmv.npz"
+        index.save(path)
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays.pop("values", None)  # drop a store column
+        truncated = tmp_path / "truncated.npz"
+        np.savez_compressed(truncated, **arrays)
+        with pytest.raises(SnapshotFormatError):
+            GBKMVIndex.load(truncated)
+
+
+class TestOpenIndex:
+    """`repro.api.open_index` dispatches on the embedded backend id."""
+
+    def test_gbkmv_snapshot_restores_bitwise(
+        self, zipf_records, fig17_workload, tmp_path
+    ):
+        from repro.api import open_index
+
+        index = GBKMVIndex.build(zipf_records, space_fraction=0.1)
+        path = tmp_path / "gbkmv.npz"
+        index.save(path)
+        restored = open_index(path)
+        assert isinstance(restored, GBKMVIndex)
+        assert _flatten(index.search_many(fig17_workload, 0.5)) == _flatten(
+            restored.search_many(fig17_workload, 0.5)
+        )
+
+    def test_gkmv_snapshot_restores_the_wrapper(self, zipf_records, tmp_path):
+        from repro.api import open_index
+
+        index = GKMVSearchIndex.build(zipf_records[:80], space_fraction=0.1)
+        path = tmp_path / "gkmv.npz"
+        index.save(path)
+        restored = open_index(path)
+        assert isinstance(restored, GKMVSearchIndex)
+        assert restored.threshold == index.threshold
+
+    def test_legacy_untagged_snapshot_still_opens(self, zipf_records, tmp_path):
+        # Snapshots written before the api_meta tag existed are recognised
+        # by their payload keys.
+        from repro.api import open_index
+
+        index = GBKMVIndex.build(zipf_records[:60], space_fraction=0.2)
+        path = tmp_path / "tagged.npz"
+        index.save(path)
+        with np.load(path) as data:
+            arrays = {
+                name: data[name] for name in data.files if name != "api_meta"
+            }
+        legacy = tmp_path / "legacy.npz"
+        np.savez_compressed(legacy, **arrays)
+        restored = open_index(legacy)
+        assert isinstance(restored, GBKMVIndex)
+        assert restored.num_records == index.num_records
+
+    def test_unrecognisable_file_raises_snapshot_format_error(self, tmp_path):
+        from repro._errors import SnapshotFormatError
+        from repro.api import open_index
+
+        path = tmp_path / "garbage.npz"
+        np.savez_compressed(path, stuff=np.arange(3))
+        with pytest.raises(SnapshotFormatError):
+            open_index(path)
+        text = tmp_path / "not_even_npz.txt"
+        text.write_text("hello")
+        with pytest.raises(SnapshotFormatError):
+            open_index(text)
