@@ -18,7 +18,7 @@ searchers — is served through one capability-aware interface::
 
     available_backends()
     # ('asymmetric-minhash', 'brute-force', 'frequent-set', 'gbkmv',
-    #  'gkmv', 'kmv', 'lsh-ensemble', 'ppjoin')
+    #  'gkmv', 'kmv', 'lsh-ensemble', 'ppjoin', 'sharded')
 
 The pieces:
 
@@ -55,6 +55,7 @@ from repro.api.config import (
     IndexConfig,
     KMVConfig,
     LSHEnsembleConfig,
+    ShardedConfig,
 )
 from repro.api.interface import BackendStatistics, Capabilities, SimilarityIndex
 from repro.api.registry import (
@@ -93,6 +94,7 @@ __all__ = [
     "LSHEnsembleConfig",
     "AsymmetricMinHashConfig",
     "ExactSearchConfig",
+    "ShardedConfig",
     # registry
     "create_index",
     "open_index",

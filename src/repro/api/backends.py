@@ -32,6 +32,7 @@ from repro.core.index import GBKMVIndex
 from repro.exact.brute_force import BruteForceSearcher
 from repro.exact.frequent_set import FrequentSetSearcher
 from repro.exact.ppjoin import PPJoinSearcher
+from repro.sharding.backend import ShardedIndex
 
 
 class _AdapterBackend(SimilarityIndex):
@@ -206,5 +207,6 @@ for _backend in (
     BruteForceBackend,
     FrequentSetBackend,
     PPJoinBackend,
+    ShardedIndex,
 ):
     register_backend(_backend)

@@ -124,3 +124,29 @@ class AsymmetricMinHashConfig(IndexConfig):
 
     num_perm: int = 256
     seed: int = 0
+
+
+@dataclass(frozen=True)
+class ShardedConfig(IndexConfig):
+    """Build configuration of the ``"sharded"`` backend.
+
+    Attributes
+    ----------
+    num_shards:
+        Number of independent inner stores the dataset is partitioned
+        across (by record-id hash).
+    inner_backend:
+        Registry id of the backend each shard runs; must be a dynamic
+        backend and cannot be ``"sharded"`` itself.
+    inner_config:
+        Build configuration for the inner backend (its ``config_type``),
+        or ``None`` for that backend's defaults.
+    max_workers:
+        Thread-pool width for fan-out operations; ``None`` sizes the
+        pool to ``min(os.cpu_count(), num_shards)``.
+    """
+
+    num_shards: int = 4
+    inner_backend: str = "gbkmv"
+    inner_config: IndexConfig | None = None
+    max_workers: int | None = None

@@ -19,8 +19,10 @@ before the tag existed are recognised by their legacy payload keys.
 
 from __future__ import annotations
 
+import inspect
 import json
 import zipfile
+from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -34,6 +36,9 @@ SNAPSHOT_FORMAT = "repro.api/index"
 
 #: npz entry name of the self-describing snapshot metadata.
 API_META_KEY = "api_meta"
+
+#: File name of the manifest inside a directory snapshot.
+SNAPSHOT_MANIFEST = "manifest.json"
 
 _BACKENDS: dict[str, type[SimilarityIndex]] = {}
 _builtin_loaded = False
@@ -148,20 +153,89 @@ def read_snapshot_tag(arrays: Mapping[str, np.ndarray]) -> dict | None:
     return tag
 
 
-def open_index(path) -> SimilarityIndex:
-    """Open any saved index, dispatching on its embedded backend id.
+def directory_manifest(backend_id: str, version: int, **extra: object) -> dict:
+    """The ``manifest.json`` payload of a directory snapshot.
 
-    Reads the snapshot's self-describing ``api_meta`` tag (falling back
-    to legacy payload sniffing for snapshots written before the tag
-    existed) and hands the file to the matching backend's ``load``.
+    The directory counterpart of :func:`snapshot_tag`: the same format
+    tag, backend id and format version, plus whatever backend-specific
+    entries the writer appends (array names, shard layout, …).
+    """
+    manifest: dict = {
+        "format": SNAPSHOT_FORMAT,
+        "backend": str(backend_id),
+        "version": int(version),
+    }
+    manifest.update(extra)
+    return manifest
+
+
+def read_directory_manifest(path) -> dict:
+    """Parse and validate the ``manifest.json`` of a directory snapshot.
 
     Raises
     ------
     SnapshotFormatError
-        If the file is not a recognisable index snapshot.
+        If the manifest is missing, unreadable, malformed, or carries a
+        foreign format tag.
+    """
+    manifest_path = Path(path) / SNAPSHOT_MANIFEST
+    try:
+        text = manifest_path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise SnapshotFormatError(
+            f"{str(path)!r} is not a directory index snapshot "
+            f"(cannot read its {SNAPSHOT_MANIFEST}: {error})"
+        ) from error
+    try:
+        manifest = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SnapshotFormatError(
+            f"malformed snapshot manifest in {str(path)!r}: {error}"
+        ) from error
+    if not isinstance(manifest, dict) or manifest.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotFormatError(
+            f"unrecognised snapshot manifest in {str(path)!r} "
+            f"(this build reads {SNAPSHOT_FORMAT!r})"
+        )
+    return manifest
+
+
+def open_index(path, mmap: bool = False) -> SimilarityIndex:
+    """Open any saved index, dispatching on its embedded backend id.
+
+    Reads the snapshot's self-describing metadata — the ``api_meta`` tag
+    of an npz snapshot, or the ``manifest.json`` of a directory snapshot
+    (falling back to legacy payload sniffing for npz snapshots written
+    before the tag existed) — and hands the path to the matching
+    backend's ``load``.
+
+    Parameters
+    ----------
+    path:
+        An npz snapshot file or a directory snapshot.
+    mmap:
+        Memory-map the large columns instead of reading them into RAM.
+        Only directory snapshots can be mapped (npz archives store
+        compressed members), and only for backends whose ``load``
+        accepts an ``mmap`` keyword.
+
+    Raises
+    ------
+    SnapshotFormatError
+        If the path is not a recognisable index snapshot.
     UnknownBackendError
         If the snapshot names a backend this build does not register.
+    ConfigurationError
+        If ``mmap=True`` and the resolved backend cannot memory-map.
     """
+    if Path(path).is_dir():
+        manifest = read_directory_manifest(path)
+        backend_id = str(manifest.get("backend", ""))
+        if not backend_id:
+            raise SnapshotFormatError(
+                f"snapshot manifest in {str(path)!r} names no backend"
+            )
+        return _dispatch_load(backend_id, path, mmap)
     try:
         # A .npy (or other non-archive) file np.load accepts comes back as
         # a bare ndarray without `files`/context-manager support — reject
@@ -191,4 +265,16 @@ def open_index(path) -> SimilarityIndex:
                 f"{path!r} is not a repro index snapshot (no {API_META_KEY!r} "
                 "tag and no recognisable legacy payload)"
             )
-    return get_backend(backend_id).load(path)
+    return _dispatch_load(backend_id, path, mmap)
+
+
+def _dispatch_load(backend_id: str, path, mmap: bool) -> SimilarityIndex:
+    """Route a snapshot path to ``backend.load``, forwarding ``mmap``."""
+    backend = get_backend(backend_id)
+    if not mmap:
+        return backend.load(path)
+    if "mmap" not in inspect.signature(backend.load).parameters:
+        raise ConfigurationError(
+            f"backend {backend_id!r} does not support memory-mapped loading"
+        )
+    return backend.load(path, mmap=True)

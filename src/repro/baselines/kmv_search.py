@@ -609,18 +609,22 @@ class GKMVSearchIndex(SimilarityIndex):
         """Replace a record's content in place, keeping its record id."""
         return self._inner.update(record_id, record)
 
-    def save(self, path) -> None:
-        """Snapshot the inner zero-buffer GB-KMV index to npz.
+    def save(self, path, layout: str = "npz") -> None:
+        """Snapshot the inner zero-buffer GB-KMV index (npz or directory).
 
-        The snapshot's ``api_meta`` tag names *this* backend, so
+        The snapshot's format tag names *this* backend, so
         :func:`repro.api.open_index` restores it as a
         :class:`GKMVSearchIndex` rather than a bare GB-KMV index.
+        ``layout`` is forwarded to :meth:`GBKMVIndex.save`.
         """
-        self._inner.save(path, backend_id=self.backend_id)
+        self._inner.save(path, backend_id=self.backend_id, layout=layout)
 
     @classmethod
-    def load(cls, path) -> "GKMVSearchIndex":
+    def load(cls, path, mmap: bool = False) -> "GKMVSearchIndex":
         """Restore an index saved with :meth:`save`.
+
+        ``mmap`` is forwarded to :meth:`GBKMVIndex.load` and maps the
+        large columns of a directory snapshot instead of reading them.
 
         Raises
         ------
@@ -628,7 +632,7 @@ class GKMVSearchIndex(SimilarityIndex):
             If the snapshot holds a *buffered* GB-KMV index: wrapping it
             would silently report GB-KMV numbers under the G-KMV label.
         """
-        inner = GBKMVIndex.load(path)
+        inner = GBKMVIndex.load(path, mmap=mmap)
         if inner.buffer_size != 0:
             raise ConfigurationError(
                 "snapshot holds a GB-KMV index with buffer size "

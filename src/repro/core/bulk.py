@@ -50,6 +50,7 @@ FNV fold by construction) would break that identity:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import chain
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -100,10 +101,18 @@ class FlatRecords:
     ``first_occurrence`` indices into ``elements``, per-occurrence
     ``inverse``, per-unique ``counts``) comes from one ``np.unique`` over
     the fingerprint column.
+
+    ``elements`` is a Python list on the generic path and an integer
+    ndarray on the dtype-aware fast path; use :meth:`element_at` /
+    :meth:`record_elements` / :meth:`representatives` to get native
+    Python elements either way (the within-record element *order* may
+    differ between the two paths — the fast path sorts by value — but
+    every downstream consumer reduces over records, so the resulting
+    sketches are identical).
     """
 
     offsets: np.ndarray
-    elements: list
+    elements: list | np.ndarray
     fingerprints: np.ndarray
     unique_fingerprints: np.ndarray
     first_occurrence: np.ndarray
@@ -128,7 +137,19 @@ class FlatRecords:
     def record_elements(self, position: int) -> list:
         """The distinct elements of one record (a slice of the flat column)."""
         start, stop = self.offsets[position], self.offsets[position + 1]
-        return self.elements[start:stop]
+        piece = self.elements[start:stop]
+        return piece.tolist() if isinstance(piece, np.ndarray) else piece
+
+    def element_at(self, index: int) -> object:
+        """One flat-column element as a native Python object.
+
+        The fast integer path stores ``elements`` as an ndarray whose
+        scalars ``repr`` differently from Python ints under numpy 2.x —
+        anything feeding the vocabulary's ``(-count, repr)`` tie-break
+        must come through here so both paths rank identically.
+        """
+        element = self.elements[index]
+        return element.item() if isinstance(element, np.generic) else element
 
     def representatives(self) -> list:
         """One representative element per unique fingerprint.
@@ -138,15 +159,71 @@ class FlatRecords:
         ``zip(representatives(), counts)`` match the per-record
         ``Counter`` exactly.
         """
+        if isinstance(self.elements, np.ndarray):
+            return self.elements[self.first_occurrence].tolist()
         return [self.elements[index] for index in self.first_occurrence.tolist()]
+
+
+def _integer_occurrences(
+    records: Sequence[Iterable[object]],
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Raw occurrence column + per-record lengths for integer datasets.
+
+    The precondition of the dtype-aware dedup fast path: every record
+    must be losslessly representable as one flat bool/int ndarray.  The
+    probes mirror :func:`~repro.hashing.fingerprint_many` — mixed types,
+    strings, ints outside 64 bits, and unsized records all return
+    ``None``, sending the caller to the generic per-record ``set()``
+    path.
+    """
+    num_records = len(records)
+    if all(isinstance(record, np.ndarray) for record in records):
+        for record in records:
+            if record.ndim != 1 or record.dtype.kind not in "bui":
+                return None
+        lengths = np.fromiter(
+            (record.size for record in records), dtype=np.int64, count=num_records
+        )
+        flat = np.concatenate(records) if num_records > 1 else records[0]
+        # Mixed signed/unsigned 64-bit inputs promote to float64 on
+        # concatenate — not lossless, so that combination falls back.
+        if flat.ndim != 1 or flat.dtype.kind not in "bui":
+            return None
+        return np.ascontiguousarray(flat), lengths
+    probe = next(
+        (
+            record[0]
+            for record in records
+            if isinstance(record, (list, tuple)) and len(record)
+        ),
+        None,
+    )
+    if not isinstance(probe, (bool, int, np.integer)):
+        return None
+    try:
+        lengths = np.fromiter(
+            (len(record) for record in records), dtype=np.int64, count=num_records
+        )
+        flat = np.asarray(list(chain.from_iterable(records)))
+    except (TypeError, ValueError, OverflowError):
+        return None
+    if flat.ndim != 1 or flat.dtype.kind not in "bui":
+        return None
+    return flat, lengths
 
 
 def flatten_records(records: Sequence[Iterable[object]]) -> FlatRecords:
     """Flatten a dataset into CSR form and fingerprint it in one pass.
 
     Per-record deduplication uses Python ``set`` semantics (the same
-    dedup the per-record path applies), so downstream array passes see
-    exactly the element multiset the old build saw.
+    dedup the per-record path applies).  Integer datasets take a
+    dtype-aware fast path: the raw occurrences become one flat array and
+    the per-record dedup is a single global lexsort + segment-boundary
+    reduction (:func:`_sorted_distinct_per_record`) — no Python ``set``
+    per record, which used to be ~40% of bulk-build wall-clock.  Every
+    other element type keeps the per-record loop; both paths produce the
+    same distinct-element multiset, so downstream sketches are
+    identical.
 
     Raises
     ------
@@ -158,18 +235,34 @@ def flatten_records(records: Sequence[Iterable[object]]) -> FlatRecords:
     num_records = len(records)
     if num_records == 0:
         raise EmptyDatasetError("cannot build an index over an empty dataset")
-    flat: list = []
-    sizes = np.empty(num_records, dtype=np.int64)
-    for position, record in enumerate(records):
-        distinct = set(record)
-        if not distinct:
+    occurrences = _integer_occurrences(records)
+    if occurrences is not None:
+        flat_values, raw_lengths = occurrences
+        record_of = np.repeat(np.arange(num_records, dtype=np.int64), raw_lengths)
+        elements, sizes, offsets = _sorted_distinct_per_record(
+            record_of, flat_values, num_records
+        )
+        if not sizes.all():
             raise ConfigurationError("records must be non-empty sets of elements")
-        sizes[position] = len(distinct)
-        flat.extend(distinct)
-    offsets = np.concatenate(
-        [np.zeros(1, dtype=np.int64), np.cumsum(sizes, dtype=np.int64)]
-    )
-    fingerprints = fingerprint_many(flat)
+        # Integer elements fingerprint as their two's-complement uint64
+        # bit pattern — exactly element_fingerprint's ``& MAX_UINT64``.
+        fingerprints = elements.astype(np.uint64)
+    else:
+        flat: list = []
+        sizes = np.empty(num_records, dtype=np.int64)
+        for position, record in enumerate(records):
+            distinct = set(record)
+            if not distinct:
+                raise ConfigurationError(
+                    "records must be non-empty sets of elements"
+                )
+            sizes[position] = len(distinct)
+            flat.extend(distinct)
+        offsets = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(sizes, dtype=np.int64)]
+        )
+        elements = flat
+        fingerprints = fingerprint_many(flat)
     # return_index would force np.unique onto a stable (merge) argsort;
     # recover first occurrences from the inverse with a reverse scatter
     # instead (later writes win, so writing positions in descending order
@@ -183,7 +276,7 @@ def flatten_records(records: Sequence[Iterable[object]]) -> FlatRecords:
     first[inverse[positions]] = positions
     return FlatRecords(
         offsets=offsets,
-        elements=flat,
+        elements=elements,
         fingerprints=fingerprints,
         unique_fingerprints=unique,
         first_occurrence=first,
@@ -215,7 +308,7 @@ def select_vocabulary(flat: FlatRecords, size: int) -> FrequentElementVocabulary
     else:
         qualifying = np.arange(num_unique)
     frequencies = {
-        flat.elements[int(flat.first_occurrence[position])]: int(counts[position])
+        flat.element_at(int(flat.first_occurrence[position])): int(counts[position])
         for position in qualifying.tolist()
     }
     return FrequentElementVocabulary.from_frequencies(frequencies, size)

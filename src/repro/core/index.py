@@ -44,6 +44,7 @@ import base64
 import json
 from collections import Counter
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -51,7 +52,12 @@ import numpy as np
 from repro._errors import ConfigurationError, EmptyDatasetError, SnapshotFormatError
 from repro.api.config import GBKMVConfig
 from repro.api.interface import Capabilities, SimilarityIndex
-from repro.api.registry import snapshot_tag
+from repro.api.registry import (
+    SNAPSHOT_MANIFEST,
+    directory_manifest,
+    read_directory_manifest,
+    snapshot_tag,
+)
 from repro.api.results import SearchResult
 from repro.core.batched import residual_intersection_estimates
 from repro.core.buffer import (
@@ -62,6 +68,7 @@ from repro.core.buffer import (
 from repro.core.bulk import (
     FingerprintCollisionError,
     FlatRecords,
+    VocabularyLookup,
     bulk_sketch,
     flatten_records,
     resolve_space_budget,
@@ -118,6 +125,26 @@ class WorkloadExecutionStats:
     dense_cells: int
     estimator_pairs: int
     hit_pairs: int
+
+
+@dataclass(frozen=True)
+class PlannedParameters:
+    """Algorithm 1's derived global parameters, before any ingest.
+
+    Returned by :meth:`GBKMVIndex.plan_parameters`: everything the
+    construction pinned over the full dataset — the frequent-element
+    vocabulary, the residual threshold ``τ``, the shared hasher and the
+    resolved space budget — plus the two derivation by-products
+    (``lookup`` and ``unique_hashes``) that :meth:`GBKMVIndex.build`
+    reuses so its single-pass ingest does not recompute them.
+    """
+
+    vocabulary: FrequentElementVocabulary
+    threshold: float
+    hasher: UnitHash
+    budget: float
+    lookup: VocabularyLookup
+    unique_hashes: np.ndarray
 
 
 def _resolve_row_block_size(row_block_size: int | None) -> int:
@@ -361,10 +388,52 @@ class GBKMVIndex(SimilarityIndex):
                 seed=seed,
                 cost_model_pair_sample=cost_model_pair_sample,
             )
+        flat = flatten_records(records)
+        params = cls.plan_parameters(
+            flat,
+            space_fraction=space_fraction,
+            space_budget=space_budget,
+            buffer_size=buffer_size,
+            hasher=hasher,
+            seed=seed,
+            cost_model_pair_sample=cost_model_pair_sample,
+        )
+        index = cls(
+            vocabulary=params.vocabulary,
+            threshold=params.threshold,
+            hasher=params.hasher,
+            budget=params.budget,
+        )
+        index._ingest_bulk(
+            flat, lookup=params.lookup, unique_hashes=params.unique_hashes
+        )
+        return index
+
+    @classmethod
+    def plan_parameters(
+        cls,
+        flat: FlatRecords,
+        space_fraction: float = 0.10,
+        space_budget: float | None = None,
+        buffer_size: int | str = "auto",
+        hasher: UnitHash | None = None,
+        seed: int = 0,
+        cost_model_pair_sample: int = 256,
+    ) -> "PlannedParameters":
+        """Algorithm 1's parameter derivation, without the ingest.
+
+        Runs the global derivation — space budget, cost-model buffer
+        sizing, vocabulary selection, residual threshold ``τ`` — over an
+        already-flattened dataset and returns the pinned parameters
+        instead of a built index.  :meth:`build` is exactly this followed
+        by one bulk ingest; the sharded backend runs it once over the
+        *full* dataset and then sketches every shard with
+        :meth:`from_parameters`, which is what makes per-shard sketches
+        (and merged search results) bitwise identical to the unsharded
+        index.
+        """
         if hasher is None:
             hasher = UnitHash(seed=seed)
-        flat = flatten_records(records)
-        record_sizes = flat.record_sizes
         budget = resolve_space_budget(
             flat.total_elements, space_fraction, space_budget
         )
@@ -375,7 +444,7 @@ class GBKMVIndex(SimilarityIndex):
         counts = flat.counts
         if buffer_size == "auto":
             sizing = choose_buffer_size(
-                record_sizes,
+                flat.record_sizes,
                 counts.astype(np.float64),
                 budget,
                 pair_sample=cost_model_pair_sample,
@@ -401,15 +470,14 @@ class GBKMVIndex(SimilarityIndex):
             counts[residual_unique].astype(np.float64),
             residual_budget,
         )
-
-        index = cls(
+        return PlannedParameters(
             vocabulary=vocabulary,
             threshold=threshold,
             hasher=hasher,
             budget=budget,
+            lookup=lookup,
+            unique_hashes=unique_hashes,
         )
-        index._ingest_bulk(flat, lookup=lookup, unique_hashes=unique_hashes)
-        return index
 
     @classmethod
     def from_records(
@@ -762,24 +830,24 @@ class GBKMVIndex(SimilarityIndex):
         Only lowers the threshold (hash values above the new ``τ`` are
         dropped); raising it would require access to the original records.
         Returns the new threshold.
+
+        The refit is incremental: the store's O(1) ``total_values``
+        tracker answers the common post-``insert_many`` case — batch
+        landed, still under budget — without touching the value column
+        at all, and when the budget *is* exceeded the new ``τ`` comes
+        from a prefix cut of the incrementally merged value→record join
+        index (:meth:`~repro.core.store.ColumnarSketchStore.threshold_for_value_budget`)
+        instead of gathering and re-sorting every live value.  The
+        chosen threshold is identical to the historical full re-derive:
+        the largest distinct value whose cumulative live occurrence
+        count fits the residual budget.
         """
         buffer_cost = self.num_records * self._vocabulary.size / BITS_PER_SIGNATURE_UNIT
         residual_budget = max(self._budget - buffer_cost, 0.0)
-        all_values = self._store.live_values()
-        if all_values.size == 0:
+        total_values = self._store.total_values
+        if total_values == 0 or total_values <= residual_budget:
             return self._threshold
-        if all_values.size <= residual_budget:
-            return self._threshold
-        # The same hash value is stored once per containing record, so pick
-        # the largest distinct value whose cumulative occurrence count still
-        # fits in the budget.
-        unique_values, counts = np.unique(all_values, return_counts=True)
-        cumulative = np.cumsum(counts)
-        within = cumulative <= residual_budget
-        if not np.any(within):
-            new_threshold = float(np.finfo(np.float64).tiny)
-        else:
-            new_threshold = float(unique_values[np.nonzero(within)[0][-1]])
+        new_threshold = self._store.threshold_for_value_budget(residual_budget)
         if new_threshold >= self._threshold:
             return self._threshold
         self._threshold = new_threshold
@@ -789,16 +857,26 @@ class GBKMVIndex(SimilarityIndex):
     # ------------------------------------------------------------ persistence
     SNAPSHOT_FORMAT_VERSION = 1
 
-    def save(self, path, backend_id: str | None = None) -> None:
-        """Snapshot the full index state to one self-describing npz file.
+    #: Store columns worth memory-mapping: the two large payloads.  The
+    #: bookkeeping columns stay eagerly loaded (and therefore writable) —
+    #: in particular ``tombstones``, which ``delete`` flips in place.
+    _MMAP_COLUMNS = frozenset({"values", "signatures"})
+
+    def save(self, path, backend_id: str | None = None, layout: str = "npz") -> None:
+        """Snapshot the full index state to one self-describing snapshot.
 
         Everything :meth:`load` needs to answer queries identically is
         written: the store's columns (CSR values, signatures, size
         columns, row ids, tombstones), the frequent-element vocabulary,
         the global threshold ``τ``, the space budget and the hasher seed
-        — plus the ``api_meta`` tag :func:`repro.api.open_index`
-        dispatches on.  ``backend_id`` overrides the tag's backend for
-        wrappers that persist through this index (the G-KMV baseline).
+        — plus the format tag :func:`repro.api.open_index` dispatches
+        on.  ``backend_id`` overrides the tag's backend for wrappers
+        that persist through this index (the G-KMV baseline).
+
+        ``layout`` picks the on-disk shape: ``"npz"`` (default) writes a
+        single compressed archive; ``"dir"`` writes a directory of raw
+        per-column ``.npy`` files plus a ``manifest.json``, which is the
+        only layout :meth:`load` can memory-map.
         """
         meta = {
             "format_version": self.SNAPSHOT_FORMAT_VERSION,
@@ -807,6 +885,13 @@ class GBKMVIndex(SimilarityIndex):
             "hasher_seed": self._hasher.seed,
             "vocabulary": _encode_elements(self._vocabulary.elements),
         }
+        if layout == "dir":
+            self._save_directory(path, backend_id or self.backend_id, meta)
+            return
+        if layout != "npz":
+            raise ConfigurationError(
+                f"unknown snapshot layout {layout!r}; use 'npz' or 'dir'"
+            )
         np.savez_compressed(
             path,
             api_meta=snapshot_tag(
@@ -816,38 +901,104 @@ class GBKMVIndex(SimilarityIndex):
             **self._store.state_arrays(),
         )
 
+    def _save_directory(self, path, backend_id: str, meta: dict) -> None:
+        """Write the ``layout="dir"`` snapshot: manifest + per-column .npy."""
+        directory = Path(path)
+        if directory.exists() and not directory.is_dir():
+            raise ConfigurationError(
+                f"cannot write a directory snapshot over the file {str(path)!r}"
+            )
+        directory.mkdir(parents=True, exist_ok=True)
+        arrays = self._store.state_arrays()
+        for name, array in arrays.items():
+            np.save(directory / f"{name}.npy", np.ascontiguousarray(array))
+        manifest = directory_manifest(
+            backend_id,
+            self.SNAPSHOT_FORMAT_VERSION,
+            index_meta=meta,
+            arrays=sorted(arrays),
+        )
+        (directory / SNAPSHOT_MANIFEST).write_text(
+            json.dumps(manifest), encoding="utf-8"
+        )
+
     @classmethod
-    def load(cls, path) -> "GBKMVIndex":
-        """Restore an index saved with :meth:`save`.
+    def _load_directory(cls, path, mmap: bool) -> tuple[dict, dict]:
+        """Read a ``layout="dir"`` snapshot back into (meta, arrays)."""
+        directory = Path(path)
+        manifest = read_directory_manifest(directory)
+        meta = manifest.get("index_meta")
+        if not isinstance(meta, dict):
+            raise SnapshotFormatError(
+                f"{str(path)!r} is not a GB-KMV index snapshot (no index_meta "
+                "in its manifest); use repro.api.open_index for other backends"
+            )
+        arrays = {}
+        for name in manifest.get("arrays", []):
+            column = directory / f"{name}.npy"
+            try:
+                if mmap and name in cls._MMAP_COLUMNS:
+                    arrays[name] = np.load(column, mmap_mode="r")
+                else:
+                    arrays[name] = np.load(column)
+            except (OSError, ValueError) as error:
+                raise SnapshotFormatError(
+                    f"cannot read snapshot column {name!r} "
+                    f"from {str(path)!r}: {error}"
+                ) from error
+        return meta, arrays
+
+    @classmethod
+    def load(cls, path, mmap: bool = False) -> "GBKMVIndex":
+        """Restore an index saved with :meth:`save` (either layout).
 
         The restored index answers :meth:`search` / :meth:`search_many`
         with bitwise-identical scores (same values, same vocabulary, same
         hasher seed ⇒ same estimator arithmetic) and keeps every dynamic
         capability — insert, delete, update, refit — of the original.
 
+        With ``mmap=True`` (directory snapshots only) the value and
+        signature columns are memory-mapped read-only instead of read
+        into RAM; queries page in only what they touch, and any mutation
+        materialises fresh private arrays, so dynamic operations still
+        work on a mapped index.
+
         Raises
         ------
         SnapshotFormatError
-            If the file is not a GB-KMV snapshot or was written by an
+            If the path is not a GB-KMV snapshot or was written by an
             unsupported format version.
+        ConfigurationError
+            If ``mmap=True`` on an npz snapshot (compressed archives
+            cannot be mapped).
         """
-        with np.load(path) as data:
-            if "index_meta" not in data.files:
-                raise SnapshotFormatError(
-                    f"{path!r} is not a GB-KMV index snapshot (no index_meta "
-                    "payload); use repro.api.open_index for other backends"
+        if Path(path).is_dir():
+            meta, arrays = cls._load_directory(path, mmap=mmap)
+        else:
+            if mmap:
+                raise ConfigurationError(
+                    "memory-mapped loading requires a directory snapshot "
+                    "(written with save(..., layout='dir')); npz archives "
+                    "store compressed members and cannot be mapped"
                 )
-            try:
-                meta = json.loads(str(data["index_meta"][()]))
-            except json.JSONDecodeError as error:
-                raise SnapshotFormatError(
-                    f"malformed GB-KMV snapshot metadata: {error}"
-                ) from error
-            arrays = {
-                name: data[name]
-                for name in data.files
-                if name not in ("index_meta", "api_meta")
-            }
+            with np.load(path) as data:
+                if "index_meta" not in data.files:
+                    raise SnapshotFormatError(
+                        f"{path!r} is not a GB-KMV index snapshot (no "
+                        "index_meta payload); use repro.api.open_index "
+                        "for other backends"
+                    )
+                try:
+                    meta = json.loads(str(data["index_meta"][()]))
+                except json.JSONDecodeError as error:
+                    raise SnapshotFormatError(
+                        f"malformed GB-KMV snapshot metadata: {error}"
+                    ) from error
+                arrays = {
+                    name: data[name]
+                    for name in data.files
+                    if name not in ("index_meta", "api_meta")
+                }
         version = meta.get("format_version")
         if version != cls.SNAPSHOT_FORMAT_VERSION:
             raise SnapshotFormatError(

@@ -554,6 +554,43 @@ class ColumnarSketchStore:
         self._row_exact = None
         self._finalized = False
 
+    def threshold_for_value_budget(self, budget: float) -> float:
+        """Largest threshold whose kept live-value count fits in ``budget``.
+
+        The incremental-refit primitive: the value→record join index is
+        already value-sorted (and absorbed batches merge into it with
+        two-run merges, never a full re-sort), so the answer is a prefix
+        inspection — no live-value gather and no ``np.unique`` pass over
+        the whole column.  A value either fits with *all* of its stored
+        occurrences or not at all, exactly the cumulative-count
+        semantics of re-deriving τ from scratch.
+
+        Callers should consult :attr:`total_values` (the O(1) running
+        tracker of stored live values) first and skip the call entirely
+        when the store already fits its budget.
+        """
+        self.finalize()
+        values = self._sorted_values
+        if self._num_dead:
+            # Below-ratio tombstones survive finalize(): filter their
+            # occurrences out of the prefix (a boolean gather, still no
+            # sort).
+            values = values[~self._tombstones[self._sorted_rows]]
+        if values.size == 0:
+            return float(np.finfo(np.float64).tiny)
+        allowed = int(budget)
+        if allowed >= values.size:
+            return float(values[-1])
+        if allowed == 0:
+            return float(np.finfo(np.float64).tiny)
+        # values[allowed] is the first occurrence that cannot fit; the
+        # answer is the largest distinct value strictly below it.
+        bound = values[allowed]
+        cut = int(np.searchsorted(values, bound, side="left"))
+        if cut == 0:
+            return float(np.finfo(np.float64).tiny)
+        return float(values[cut - 1])
+
     # ------------------------------------------------------------ snapshots
     def state_arrays(self) -> dict[str, np.ndarray]:
         """The full segment state as named arrays (tail absorbed first)."""

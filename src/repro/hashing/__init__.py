@@ -26,6 +26,7 @@ from repro.hashing.hash_functions import (
     fingerprint_many,
     hash_to_unit,
     mix64,
+    mix64_many,
 )
 from repro.hashing.families import HashFamily
 
@@ -37,4 +38,5 @@ __all__ = [
     "fingerprint_many",
     "hash_to_unit",
     "mix64",
+    "mix64_many",
 ]

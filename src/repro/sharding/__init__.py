@@ -1,0 +1,33 @@
+"""Sharded multi-core execution of the similarity-search backends.
+
+The ``"sharded"`` backend partitions a dataset by record-id hash across
+``S`` independent inner indexes (any dynamic registered backend — GB-KMV
+by default) and implements the full
+:class:`~repro.api.interface.SimilarityIndex` protocol on top of them:
+queries fan out to every shard on a thread pool (the numpy kernels
+release the GIL, so shards genuinely overlap on multi-core machines) and
+the per-shard hits are merged back into exactly the result lists the
+unsharded index returns.
+
+Package layout
+--------------
+``partitioner``
+    Deterministic record-id → shard routing (SplitMix64 over the id) and
+    the reconstruction of the full routing tables from a record count.
+``executor``
+    The order-preserving thread-pool fan-out primitive.
+``merge``
+    Local-id → global-id remapping and the global result-order merge.
+``planner``
+    Builds the per-shard inner indexes under globally pinned parameters,
+    which is what makes sharded search results bitwise identical to the
+    unsharded backend for the native sketch backends.
+``persistence``
+    The directory-of-shard-snapshots format behind ``save``/``load``.
+``backend``
+    :class:`ShardedIndex`, the registered ``SimilarityIndex``.
+"""
+
+from repro.sharding.backend import ShardedIndex
+
+__all__ = ["ShardedIndex"]

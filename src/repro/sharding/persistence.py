@@ -1,0 +1,130 @@
+"""The sharded snapshot format: a directory of per-shard snapshots.
+
+Layout::
+
+    index/                      # the path handed to save()
+      manifest.json             # format tag + routing + shard file list
+      shard-00000/              # inner directory snapshot (mmap-able), or
+      shard-00001.npz           # inner npz snapshot, per inner support
+
+The manifest carries everything the backend needs besides the shards
+themselves: the inner backend id, the shard count, ``next_global_id``
+(from which the full id routing is reconstructed — see
+:mod:`repro.sharding.partitioner`) and the configured pool width.  Each
+shard is saved through its own backend's ``save``, preferring the
+mmap-able directory layout when the inner backend offers one, so
+:func:`repro.api.open_index` with ``mmap=True`` maps every shard's large
+columns instead of reading them.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro._errors import ConfigurationError, SnapshotFormatError
+from repro.api.interface import SimilarityIndex
+from repro.api.registry import (
+    SNAPSHOT_MANIFEST,
+    directory_manifest,
+    get_backend,
+    read_directory_manifest,
+)
+
+#: Format version of the sharded directory snapshot.
+SHARDED_SNAPSHOT_VERSION = 1
+
+
+def _shard_name(position: int, directory_layout: bool) -> str:
+    base = f"shard-{position:05d}"
+    return base if directory_layout else f"{base}.npz"
+
+
+def save_sharded(
+    path,
+    shards: Sequence[SimilarityIndex],
+    inner_backend: str,
+    next_global_id: int,
+    max_workers: int | None,
+) -> None:
+    """Write the sharded snapshot directory (manifest + one file per shard)."""
+    directory = Path(path)
+    if directory.exists() and not directory.is_dir():
+        raise ConfigurationError(
+            f"cannot write a sharded snapshot over the file {str(path)!r}"
+        )
+    directory.mkdir(parents=True, exist_ok=True)
+    names = []
+    for position, shard in enumerate(shards):
+        directory_layout = "layout" in inspect.signature(shard.save).parameters
+        name = _shard_name(position, directory_layout)
+        if directory_layout:
+            shard.save(directory / name, layout="dir")
+        else:
+            shard.save(directory / name)
+        names.append(name)
+    manifest = directory_manifest(
+        "sharded",
+        SHARDED_SNAPSHOT_VERSION,
+        inner_backend=str(inner_backend),
+        num_shards=len(names),
+        next_global_id=int(next_global_id),
+        max_workers=None if max_workers is None else int(max_workers),
+        shards=names,
+    )
+    (directory / SNAPSHOT_MANIFEST).write_text(
+        json.dumps(manifest), encoding="utf-8"
+    )
+
+
+def load_sharded(path, mmap: bool = False) -> tuple[list[SimilarityIndex], dict]:
+    """Restore the per-shard indexes and the validated manifest.
+
+    Raises
+    ------
+    SnapshotFormatError
+        If the directory is not a sharded snapshot, is from an
+        unsupported format version, or its manifest is incomplete.
+    ConfigurationError
+        If ``mmap=True`` but the inner backend cannot memory-map.
+    """
+    manifest = read_directory_manifest(path)
+    if manifest.get("backend") != "sharded":
+        raise SnapshotFormatError(
+            f"{str(path)!r} is not a sharded index snapshot "
+            f"(its manifest names backend {manifest.get('backend')!r})"
+        )
+    version = manifest.get("version")
+    if version != SHARDED_SNAPSHOT_VERSION:
+        raise SnapshotFormatError(
+            f"unsupported sharded snapshot version {version!r} "
+            f"(this build reads version {SHARDED_SNAPSHOT_VERSION})"
+        )
+    inner_backend = manifest.get("inner_backend")
+    names = manifest.get("shards")
+    if not isinstance(inner_backend, str) or not isinstance(names, list):
+        raise SnapshotFormatError(
+            f"sharded snapshot manifest in {str(path)!r} is incomplete "
+            "(missing inner_backend or shard list)"
+        )
+    if len(names) != manifest.get("num_shards"):
+        raise SnapshotFormatError(
+            f"sharded snapshot manifest in {str(path)!r} is inconsistent: "
+            f"{len(names)} shard files for num_shards={manifest.get('num_shards')!r}"
+        )
+    inner_cls = get_backend(inner_backend)
+    supports_mmap = "mmap" in inspect.signature(inner_cls.load).parameters
+    if mmap and not supports_mmap:
+        raise ConfigurationError(
+            f"inner backend {inner_backend!r} does not support "
+            "memory-mapped loading"
+        )
+    shards = [
+        inner_cls.load(Path(path) / name, mmap=True)
+        if mmap
+        else inner_cls.load(Path(path) / name)
+        for name in names
+    ]
+    return shards, manifest

@@ -1,0 +1,166 @@
+"""Building the per-shard inner indexes under globally pinned parameters.
+
+The point of the planner is *bitwise identity*: a sharded index must
+return exactly the results of its unsharded inner backend, or sharding
+would silently change the numbers a benchmark reports.  Every per-record
+sketch in the native backends depends only on the record's content and
+the *global* construction parameters — the frequent-element vocabulary,
+the residual threshold ``τ``, the hasher, and KMV's per-record ``k`` —
+never on which other records share its store.  So the planner derives
+those parameters once over the **full** dataset (exactly as the
+unsharded construction would) and then sketches each shard's records
+under the pinned values:
+
+- ``gbkmv`` / ``gkmv``: :meth:`~repro.core.index.GBKMVIndex.plan_parameters`
+  over the full dataset, then
+  :meth:`~repro.core.index.GBKMVIndex.from_parameters` per shard
+  (``gkmv`` pins ``buffer_size=0`` and wraps the shards).
+- ``kmv``: the Theorem-1 allocation ``k = ⌊b / m⌋`` with the *global*
+  ``b`` and ``m``, then one bulk ``insert_many`` per shard.
+
+Other dynamic backends shard through their ordinary ``from_records``;
+they still answer every query (each shard sees all queries and the merge
+is order-exact), but their per-shard parameters are derived per shard,
+so results may differ from the unsharded build — and an empty shard is
+an error, since there is no pinned-parameter way to construct one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro._errors import ConfigurationError
+from repro.api.config import IndexConfig
+from repro.api.interface import SimilarityIndex
+from repro.api.registry import get_backend
+from repro.baselines.kmv_search import GKMVSearchIndex, KMVSearchIndex
+from repro.core.bulk import flatten_records, resolve_space_budget
+from repro.core.index import GBKMVIndex
+from repro.hashing import UnitHash
+
+
+def build_shards(
+    records: Sequence[Iterable[object]],
+    shard_records: Sequence[Sequence[Iterable[object]]],
+    inner_backend: str,
+    inner_config: IndexConfig | None,
+) -> list[SimilarityIndex]:
+    """Build one inner index per shard.
+
+    ``records`` is the full dataset in global-id order and
+    ``shard_records[s]`` the subset routed to shard ``s`` (also in
+    global-id order, which is what makes inner local ids line up with
+    arrival ranks).  ``inner_config`` is validated against the inner
+    backend's ``config_type``.
+    """
+    if inner_backend == "gbkmv":
+        return _gbkmv_shards(records, shard_records, inner_config)
+    if inner_backend == "gkmv":
+        return _gkmv_shards(records, shard_records, inner_config)
+    if inner_backend == "kmv":
+        return _kmv_shards(records, shard_records, inner_config)
+    return _generic_shards(shard_records, inner_backend, inner_config)
+
+
+def _gbkmv_shards(records, shard_records, inner_config):
+    config = GBKMVIndex.resolve_config(inner_config)
+    GBKMVIndex._check_build_method(config.method)
+    params = GBKMVIndex.plan_parameters(
+        flatten_records(records),
+        space_fraction=config.space_fraction,
+        space_budget=config.space_budget,
+        buffer_size=config.buffer_size,
+        seed=config.seed,
+        cost_model_pair_sample=config.cost_model_pair_sample,
+    )
+    # Each shard carries an equal slice of the global budget; the budget
+    # only feeds per-shard bookkeeping (refit headroom, statistics) —
+    # sketch content is fully determined by the pinned parameters.
+    share = params.budget / len(shard_records)
+    return [
+        GBKMVIndex.from_parameters(
+            shard,
+            vocabulary=params.vocabulary,
+            threshold=params.threshold,
+            hasher=params.hasher,
+            budget=share,
+            method=config.method,
+        )
+        if shard
+        else GBKMVIndex(
+            vocabulary=params.vocabulary,
+            threshold=params.threshold,
+            hasher=params.hasher,
+            budget=share,
+        )
+        for shard in shard_records
+    ]
+
+
+def _gkmv_shards(records, shard_records, inner_config):
+    config = GKMVSearchIndex.resolve_config(inner_config)
+    GBKMVIndex._check_build_method(config.method)
+    params = GBKMVIndex.plan_parameters(
+        flatten_records(records),
+        space_fraction=config.space_fraction,
+        space_budget=config.space_budget,
+        buffer_size=0,
+        seed=config.seed,
+    )
+    share = params.budget / len(shard_records)
+    shards = []
+    for shard in shard_records:
+        inner = (
+            GBKMVIndex.from_parameters(
+                shard,
+                vocabulary=params.vocabulary,
+                threshold=params.threshold,
+                hasher=params.hasher,
+                budget=share,
+                method=config.method,
+            )
+            if shard
+            else GBKMVIndex(
+                vocabulary=params.vocabulary,
+                threshold=params.threshold,
+                hasher=params.hasher,
+                budget=share,
+            )
+        )
+        shards.append(GKMVSearchIndex(inner))
+    return shards
+
+
+def _kmv_shards(records, shard_records, inner_config):
+    config = KMVSearchIndex.resolve_config(inner_config)
+    flat = flatten_records(records)
+    budget = resolve_space_budget(
+        flat.total_elements, config.space_fraction, config.space_budget
+    )
+    # Theorem 1's equal allocation under the *global* budget and record
+    # count — the same k every record gets in the unsharded build.
+    k = max(int(budget // flat.num_records), 1)
+    hasher = UnitHash(seed=config.seed)
+    share = budget / len(shard_records)
+    shards = []
+    for shard in shard_records:
+        index = KMVSearchIndex(hasher=hasher, k_per_record=k, budget=share)
+        index.insert_many(shard)
+        shards.append(index)
+    return shards
+
+
+def _generic_shards(shard_records, inner_backend, inner_config):
+    inner_cls = get_backend(inner_backend)
+    config = inner_cls.resolve_config(inner_config)
+    shards = []
+    for position, shard in enumerate(shard_records):
+        if not shard:
+            raise ConfigurationError(
+                f"shard {position} of {len(shard_records)} is empty; backend "
+                f"{inner_backend!r} has no pinned-parameter construction and "
+                "cannot build an empty shard — use fewer shards or a native "
+                "sketch backend (gbkmv/gkmv/kmv)"
+            )
+        shards.append(inner_cls.from_records(shard, config=config))
+    return shards

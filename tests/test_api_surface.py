@@ -27,6 +27,7 @@ EXPECTED_EXPORTS = {
     "LSHEnsembleConfig",
     "AsymmetricMinHashConfig",
     "ExactSearchConfig",
+    "ShardedConfig",
     # registry
     "create_index",
     "open_index",
@@ -58,6 +59,7 @@ EXPECTED_BACKENDS = (
     "kmv",
     "lsh-ensemble",
     "ppjoin",
+    "sharded",
 )
 
 

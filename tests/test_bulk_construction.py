@@ -140,6 +140,37 @@ class TestBuildIdentity:
         with pytest.raises(ConfigurationError):
             GBKMVIndex.build([[1, 2]], method="turbo")
 
+    def test_ndarray_records_match_list_records(self):
+        # Integer ndarray records take the no-Python concatenate fast
+        # path of flatten_records; the index must be bitwise identical.
+        lists = powerlaw_records(num_records=150)
+        arrays = [np.asarray(record, dtype=np.int64) for record in lists]
+        from_arrays = GBKMVIndex.build(arrays, space_fraction=0.2)
+        from_lists = GBKMVIndex.build(lists, space_fraction=0.2)
+        assert_same_index(from_arrays, from_lists, lists[:10])
+
+    def test_mixed_width_ndarray_records_fall_back_losslessly(self):
+        # int64 + uint64 arrays concatenate to float64; the fast path
+        # must detect the lossy promotion and take the exact route.
+        records = [
+            np.array([-5, -4, 3], dtype=np.int64),
+            np.array([3, 2**63 + 7], dtype=np.uint64),
+            np.array([11, 2**63 + 7], dtype=np.uint64),
+        ]
+        reference = [[-5, -4, 3], [3, 2**63 + 7], [11, 2**63 + 7]]
+        bulk = GBKMVIndex.build(records, space_fraction=1.0)
+        expected = GBKMVIndex.build(
+            reference, space_fraction=1.0, method="per-record"
+        )
+        assert_same_index(bulk, expected, reference)
+
+    def test_generator_records_match_lists(self):
+        lists = powerlaw_records(num_records=80)
+        generators = [iter(record) for record in lists]
+        built = GBKMVIndex.build(generators, space_fraction=0.3)
+        expected = GBKMVIndex.build(lists, space_fraction=0.3)
+        assert_same_index(built, expected, lists[:10])
+
 
 class TestFromParametersIdentity:
     def test_pinned_rebuild_matches(self):

@@ -13,6 +13,7 @@ from repro.hashing import (
     fingerprint_many,
     hash_to_unit,
     mix64,
+    mix64_many,
 )
 
 
@@ -36,6 +37,24 @@ class TestMix64:
         b = mix64(1)
         differing = bin(a ^ b).count("1")
         assert differing > 10
+
+    def test_mix64_many_matches_scalar(self):
+        values = np.concatenate(
+            [
+                np.arange(2_000, dtype=np.uint64),
+                np.array([MAX_UINT64, 2**63, 2**40 + 7], dtype=np.uint64),
+            ]
+        )
+        batch = mix64_many(values)
+        assert batch.dtype == np.uint64
+        assert batch.tolist() == [mix64(int(value)) for value in values.tolist()]
+
+    def test_mix64_many_accepts_signed_input(self):
+        # int64 ids reinterpret through the same 64-bit wrap the scalar
+        # path applies.
+        assert mix64_many(np.arange(100, dtype=np.int64)).tolist() == [
+            mix64(i) for i in range(100)
+        ]
 
 
 class TestElementFingerprint:

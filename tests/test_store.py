@@ -391,3 +391,72 @@ class TestKernels:
         assert store.intersection_counts(np.array([0.5])).size == 0
         assert store.signature_overlap(0b1).size == 0
         assert store.signature_overlap_many([0b1]).shape == (1, 0)
+
+
+class TestThresholdForValueBudget:
+    """The incremental-refit primitive against a brute-force recomputation."""
+
+    @staticmethod
+    def _brute_force(live_values, budget):
+        tiny = float(np.finfo(np.float64).tiny)
+        values = np.sort(np.asarray(live_values, dtype=np.float64))
+        allowed = int(budget)
+        if values.size == 0 or allowed == 0:
+            return tiny
+        if allowed >= values.size:
+            return float(values[-1])
+        candidates = [
+            float(value)
+            for value in np.unique(values)
+            if int(np.count_nonzero(values <= value)) <= allowed
+        ]
+        return candidates[-1] if candidates else tiny
+
+    def _rows(self, rng, num_rows, grid=None):
+        rows = []
+        for _ in range(num_rows):
+            size = int(rng.integers(1, 10))
+            if grid is None:
+                values = np.unique(rng.random(size))
+            else:
+                # Discrete grid forces cross-row duplicate values, the
+                # tie-heavy case the boundary search must get right.
+                values = np.unique(rng.integers(1, grid, size) / grid)
+            rows.append((values, 0, values.size, values.size + 1))
+        return rows
+
+    @pytest.mark.parametrize("grid", [None, 12])
+    @pytest.mark.parametrize("num_deleted", [0, 11])
+    def test_matches_brute_force(self, grid, num_deleted):
+        rng = np.random.default_rng(41 + (grid or 0))
+        rows = self._rows(rng, 30, grid=grid)
+        store = _store_with_rows(rows, signature_bits=0)
+        deleted = set(
+            rng.choice(len(rows), size=num_deleted, replace=False).tolist()
+        )
+        for record_id in deleted:
+            store.delete(record_id)
+        live_values = np.concatenate(
+            [
+                rows[record_id][0]
+                for record_id in range(len(rows))
+                if record_id not in deleted
+            ]
+        )
+        total = live_values.size
+        for budget in (0.0, 0.5, 1.0, 3.7, total / 2, total - 1, total, total + 5):
+            expected = self._brute_force(live_values, budget)
+            assert store.threshold_for_value_budget(budget) == expected, budget
+
+    def test_truncate_at_returned_threshold_fits_budget(self):
+        rng = np.random.default_rng(7)
+        store = _store_with_rows(self._rows(rng, 40, grid=9), signature_bits=0)
+        budget = store.total_values // 3
+        threshold = store.threshold_for_value_budget(budget)
+        store.truncate_values(threshold)
+        assert store.total_values <= budget
+
+    def test_empty_store(self):
+        store = ColumnarSketchStore(signature_bits=0)
+        tiny = float(np.finfo(np.float64).tiny)
+        assert store.threshold_for_value_budget(10.0) == tiny
