@@ -214,6 +214,10 @@ def _run() -> dict[str, object]:
             "looped_insert_seconds": round(looped_insert_seconds, 4),
             "insert_many_seconds": round(insert_many_seconds, 4),
         },
+        # Per-stage breakdown of the (fastest-round) bulk build: where
+        # the remaining wall-clock goes — flatten / vocabulary / sketch /
+        # append — from GBKMVIndex.last_build_profile.
+        "build_profile": bulk_index.last_build_profile.as_dict(),
         "identical_results": bool(identical_results and insert_identical),
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

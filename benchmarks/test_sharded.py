@@ -20,12 +20,22 @@ shard count.  Asserted invariants:
 * every shard count returns **bitwise-identical** hits/scores/ordering
   to the unsharded baseline — sharding is a layout change, not an
   approximation;
+* a **parallel-built** index (``build_workers=4`` through the shard
+  executor) is bitwise-identical to a serially built one
+  (``build_workers=1``) — parallel construction is a scheduling change,
+  not an approximation;
 * on a machine with >= 4 cores at the full 1M-record scale, the best
   multi-shard ``search_many`` wall-clock beats the single-shard
-  configuration by at least **2x** (reduced-size or few-core runs — CI
-  smoke, this container — record the scaling table without the guard);
+  configuration by at least **2x**, and the best multi-shard *build*
+  beats the single-shard build by at least **2x** (reduced-size or
+  few-core runs — CI smoke, this container — record the scaling table
+  without the guards);
 * shard occupancy is balanced: the emptiest shard holds at least half
   the records of the fullest.
+
+Every build also attaches its per-stage profile (flatten / vocabulary /
+sketch / append wall-clock from ``last_build_profile``), so the table
+shows *where* construction time goes as the shard count grows.
 
 Results (including ``cpu_count``, so a 1-core table cannot be mistaken
 for a scaling failure) land in ``BENCH_sharded.json`` at the repository
@@ -55,6 +65,10 @@ FULL_SCALE_RECORDS = 1_000_000
 #: Cores below which the 2x guard is meaningless: the shard executor
 #: runs inline on a single worker and parallel speedup is impossible.
 MIN_CORES_FOR_GUARD = 4
+#: PR 7's unsharded 1M-record build on this container (BENCH_sharded.json
+#: before the flatten-once + sort-once-reuse work), kept as the reference
+#: the refreshed single-core build is compared against in the payload.
+PR7_BASELINE_BUILD_SECONDS = 8.3718
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sharded.json"
 
@@ -126,6 +140,7 @@ def _run() -> dict[str, object]:
     # --- sharded scaling table --------------------------------------------
     scaling: list[dict[str, object]] = []
     search_seconds_by_shards: dict[int, float] = {}
+    build_seconds_by_shards: dict[int, float] = {}
     identical = True
     for num_shards in SHARD_COUNTS:
         config = ShardedConfig(
@@ -145,10 +160,15 @@ def _run() -> dict[str, object]:
             f"unbalanced shards at num_shards={num_shards}: {occupancy}"
         )
         search_seconds_by_shards[num_shards] = search_seconds
+        build_seconds_by_shards[num_shards] = build_seconds
         scaling.append(
             {
                 "num_shards": num_shards,
                 "build_seconds": round(build_seconds, 4),
+                "build_stage_seconds": {
+                    name: round(seconds, 4)
+                    for name, seconds in index.last_build_profile.stage_seconds().items()
+                },
                 "search_many_seconds": round(search_seconds, 4),
                 "speedup_vs_one_shard": None,  # filled once the 1-shard row exists
                 "shard_records_min": int(min(occupancy)),
@@ -158,6 +178,50 @@ def _run() -> dict[str, object]:
         index.close()
     assert identical, "sharded search drifted from the unsharded baseline"
 
+    # --- parallel vs serial construction ----------------------------------
+    # The same 4-shard configuration built with an explicit single-worker
+    # executor and with a forced 4-worker pool: wall-clocks land in the
+    # payload and the two indexes must be bitwise interchangeable.
+    serial_config = ShardedConfig(
+        num_shards=4,
+        inner_backend="gbkmv",
+        inner_config=GBKMVConfig(space_fraction=SPACE_FRACTION),
+        build_workers=1,
+    )
+    start = time.perf_counter()
+    serial_index = create_index("sharded", records, serial_config)
+    serial_build_seconds = time.perf_counter() - start
+    parallel_config = ShardedConfig(
+        num_shards=4,
+        inner_backend="gbkmv",
+        inner_config=GBKMVConfig(space_fraction=SPACE_FRACTION),
+        build_workers=4,
+    )
+    start = time.perf_counter()
+    parallel_index = create_index("sharded", records, parallel_config)
+    parallel_build_seconds = time.perf_counter() - start
+    parallel_identical = (
+        _flatten(serial_index.search_many(queries, THRESHOLD)) == expected
+        and _flatten(parallel_index.search_many(queries, THRESHOLD)) == expected
+        and all(
+            serial_shard.store.state_arrays().keys()
+            == parallel_shard.store.state_arrays().keys()
+            and all(
+                np.array_equal(
+                    serial_shard.store.state_arrays()[name],
+                    parallel_shard.store.state_arrays()[name],
+                )
+                for name in serial_shard.store.state_arrays()
+            )
+            for serial_shard, parallel_shard in zip(
+                serial_index.shards, parallel_index.shards
+            )
+        )
+    )
+    assert parallel_identical, "parallel build drifted from the serial build"
+    serial_index.close()
+    parallel_index.close()
+
     one_shard_seconds = search_seconds_by_shards[SHARD_COUNTS[0]]
     for row in scaling:
         row["speedup_vs_one_shard"] = round(
@@ -166,16 +230,25 @@ def _run() -> dict[str, object]:
     multi_shard = [s for s in SHARD_COUNTS if s > 1]
     best_shards = min(multi_shard, key=search_seconds_by_shards.__getitem__)
     best_speedup = one_shard_seconds / search_seconds_by_shards[best_shards]
+    one_shard_build = build_seconds_by_shards[SHARD_COUNTS[0]]
+    best_build_shards = min(multi_shard, key=build_seconds_by_shards.__getitem__)
+    best_build_speedup = one_shard_build / build_seconds_by_shards[best_build_shards]
 
-    # The headline claim — >= 2x at the full million-record scale on a
-    # multi-core machine.  Single-core or reduced-size runs still emit
-    # the full scaling table (with cpu_count) but skip the guard: the
-    # executor degrades to inline execution and cannot speed up.
+    # The headline claims — >= 2x search AND >= 2x build at the full
+    # million-record scale on a multi-core machine.  Single-core or
+    # reduced-size runs still emit the full scaling table (with
+    # cpu_count) but skip the guards: the shard executor degrades to
+    # inline execution and cannot speed up.
     guard_applies = num_records >= FULL_SCALE_RECORDS and cpu_count >= MIN_CORES_FOR_GUARD
     if guard_applies:
         assert best_speedup >= 2.0, (
             f"search_many at {best_shards} shards is only {best_speedup:.2f}x "
             f"the single-shard configuration ({cpu_count} cores)"
+        )
+        assert best_build_speedup >= 2.0, (
+            f"build at {best_build_shards} shards is only "
+            f"{best_build_speedup:.2f}x the single-shard build "
+            f"({cpu_count} cores)"
         )
 
     payload = {
@@ -190,14 +263,24 @@ def _run() -> dict[str, object]:
         "baseline_gbkmv": {
             "build_seconds": round(baseline_build_seconds, 4),
             "search_many_seconds": round(baseline_search_seconds, 4),
+            "build_profile": baseline.last_build_profile.as_dict(),
+            "pr7_build_seconds_reference": PR7_BASELINE_BUILD_SECONDS,
         },
         "sharded_scaling": scaling,
+        "parallel_build": {
+            "num_shards": 4,
+            "serial_build_seconds": round(serial_build_seconds, 4),
+            "parallel_build_seconds": round(parallel_build_seconds, 4),
+            "build_workers": 4,
+            "identical_to_serial": bool(parallel_identical),
+        },
         "best_multi_shard": {
             "num_shards": best_shards,
             "speedup_vs_one_shard": round(best_speedup, 2),
+            "build_speedup_vs_one_shard": round(best_build_speedup, 2),
             "guard_enforced": guard_applies,
         },
-        "identical_results": bool(identical),
+        "identical_results": bool(identical and parallel_identical),
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return payload

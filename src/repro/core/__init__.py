@@ -43,8 +43,10 @@ from repro.core.bulk import (
     bulk_sketch,
     flatten_records,
     select_vocabulary,
+    slice_flat_records,
     vocabulary_lookup,
 )
+from repro.core.profiling import BuildProfile, BuildStage
 from repro.core.cost_model import (
     BufferSizing,
     average_variance,
@@ -90,6 +92,8 @@ __all__ = [
     "estimate_intersection",
     "intersection_variance",
     "BufferSizing",
+    "BuildProfile",
+    "BuildStage",
     "BulkSketches",
     "FingerprintCollisionError",
     "FlatRecords",
@@ -100,6 +104,7 @@ __all__ = [
     "flatten_records",
     "residual_threshold",
     "select_vocabulary",
+    "slice_flat_records",
     "residual_threshold_from_hashes",
     "vocabulary_lookup",
     "GBKMVIndex",

@@ -13,10 +13,18 @@ passes:
   offsets + flat element column), fingerprints every element with a
   single :func:`~repro.hashing.fingerprint_many` pass, and derives the
   distinct-element universe — fingerprints, first-occurrence
-  representatives, per-occurrence inverse and frequencies — with one
-  ``np.unique``.  The per-unique ``counts`` column is exactly the
-  ``Counter`` the old build looped for (each record's elements are
-  distinct, so occurrences equal containing records).
+  representatives, per-occurrence inverse and frequencies.  On the
+  integer fast path one value-major lexsort yields *both* the
+  per-record dedup and the unique universe (the flat column is sorted
+  once, not once for the dedup and again inside ``np.unique``); the
+  generic path keeps ``np.unique`` over the fingerprint column.  The
+  per-unique ``counts`` column is exactly the ``Counter`` the old build
+  looped for (each record's elements are distinct, so occurrences equal
+  containing records).
+* :func:`slice_flat_records` carves a per-record subset out of an
+  already-flattened dataset — CSR gathers only, no re-hashing and no
+  second frequency pass — which is how the sharded planner hands every
+  shard its records after flattening the dataset exactly once.
 * :func:`bulk_sketch` turns a flattened dataset into the flat sketch
   columns a :class:`~repro.core.store.ColumnarSketchStore` ingests in one
   :meth:`~repro.core.store.ColumnarSketchStore.append_bulk` call: the
@@ -49,6 +57,7 @@ FNV fold by construction) would break that identity:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from itertools import chain
 from typing import Iterable, Sequence
@@ -57,6 +66,7 @@ import numpy as np
 
 from repro._errors import ConfigurationError, EmptyDatasetError
 from repro.core.buffer import FrequentElementVocabulary
+from repro.core.profiling import BuildProfile
 from repro.core.store import BITS_PER_WORD
 from repro.hashing import UnitHash, fingerprint_many
 
@@ -212,18 +222,96 @@ def _integer_occurrences(
     return flat, lengths
 
 
-def flatten_records(records: Sequence[Iterable[object]]) -> FlatRecords:
+def _first_occurrences(inverse: np.ndarray, num_unique: int) -> np.ndarray:
+    """First flat-column position of each unique fingerprint.
+
+    A reverse scatter over the inverse column: later writes win, so
+    writing positions in descending order leaves each unique its
+    smallest occurrence index (``np.unique(return_index=True)`` would
+    force a stable merge argsort to get the same answer).
+    """
+    first = np.empty(num_unique, dtype=np.int64)
+    positions = np.arange(inverse.size - 1, -1, -1, dtype=np.int64)
+    first[inverse[positions]] = positions
+    return first
+
+
+def _flatten_integer(
+    flat_values: np.ndarray, raw_lengths: np.ndarray, num_records: int
+) -> FlatRecords:
+    """The sort-once integer fast path: one value-major lexsort does it all.
+
+    The historical pipeline sorted the flat column twice — a
+    (record, value) lexsort for the per-record dedup, then the
+    comparison argsort inside ``np.unique`` for the universe.  Sorting
+    the raw occurrences once in (fingerprint, record) order instead
+    yields both: segment boundaries on the fingerprint key delimit the
+    unique universe (ascending, with ``bincount`` frequencies), segment
+    boundaries on either key delimit the per-record distinct survivors,
+    and the CSR layout is recovered with one cheap O(n) radix argsort
+    over the surviving record ids (``kind="stable"`` on int64), which
+    preserves the within-record fingerprint order the lexsort
+    established.  Bitwise identical universe, counts and inverse to the
+    ``np.unique`` pipeline.
+    """
+    if not raw_lengths.all():
+        raise ConfigurationError("records must be non-empty sets of elements")
+    record_of = np.repeat(np.arange(num_records, dtype=np.int64), raw_lengths)
+    # Integer elements fingerprint as their two's-complement uint64 bit
+    # pattern — exactly element_fingerprint's ``& MAX_UINT64``.  The
+    # sort must run in this domain: the universe is ordered by uint64
+    # fingerprint, and signed order would disagree for negative values.
+    flat_fingerprints = flat_values.astype(np.uint64)
+    order = np.lexsort((record_of, flat_fingerprints))
+    sorted_records = record_of[order]
+    sorted_fingerprints = flat_fingerprints[order]
+    new_value = np.empty(sorted_fingerprints.size, dtype=bool)
+    new_value[0] = True
+    new_value[1:] = sorted_fingerprints[1:] != sorted_fingerprints[:-1]
+    keep = np.empty(sorted_fingerprints.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = new_value[1:] | (sorted_records[1:] != sorted_records[:-1])
+    kept_records = sorted_records[keep]
+    kept_fingerprints = sorted_fingerprints[keep]
+    group_starts = new_value[keep]
+    group_of = np.cumsum(group_starts, dtype=np.int64) - 1
+    unique = kept_fingerprints[group_starts]
+    counts = np.bincount(group_of)
+    csr_order = np.argsort(kept_records, kind="stable")
+    fingerprints = kept_fingerprints[csr_order]
+    inverse = group_of[csr_order]
+    elements = flat_values[order[keep][csr_order]]
+    sizes = np.bincount(kept_records, minlength=num_records)
+    offsets = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(sizes, dtype=np.int64)]
+    )
+    return FlatRecords(
+        offsets=offsets,
+        elements=elements,
+        fingerprints=fingerprints,
+        unique_fingerprints=unique,
+        first_occurrence=_first_occurrences(inverse, unique.size),
+        inverse=inverse,
+        counts=counts.astype(np.int64, copy=False),
+    )
+
+
+def flatten_records(
+    records: Sequence[Iterable[object]], profile: BuildProfile | None = None
+) -> FlatRecords:
     """Flatten a dataset into CSR form and fingerprint it in one pass.
 
     Per-record deduplication uses Python ``set`` semantics (the same
     dedup the per-record path applies).  Integer datasets take a
     dtype-aware fast path: the raw occurrences become one flat array and
-    the per-record dedup is a single global lexsort + segment-boundary
-    reduction (:func:`_sorted_distinct_per_record`) — no Python ``set``
-    per record, which used to be ~40% of bulk-build wall-clock.  Every
-    other element type keeps the per-record loop; both paths produce the
-    same distinct-element multiset, so downstream sketches are
-    identical.
+    a single value-major lexsort produces the per-record dedup *and* the
+    unique universe (:func:`_flatten_integer`) — no Python ``set`` per
+    record and no second sort inside ``np.unique``.  Every other element
+    type keeps the per-record loop plus ``np.unique``; both paths
+    produce the same distinct-element multiset and the same universe, so
+    downstream sketches are identical.
+
+    ``profile`` records the pass as one ``"flatten"`` stage.
 
     Raises
     ------
@@ -235,18 +323,11 @@ def flatten_records(records: Sequence[Iterable[object]]) -> FlatRecords:
     num_records = len(records)
     if num_records == 0:
         raise EmptyDatasetError("cannot build an index over an empty dataset")
+    start = time.perf_counter()
     occurrences = _integer_occurrences(records)
     if occurrences is not None:
         flat_values, raw_lengths = occurrences
-        record_of = np.repeat(np.arange(num_records, dtype=np.int64), raw_lengths)
-        elements, sizes, offsets = _sorted_distinct_per_record(
-            record_of, flat_values, num_records
-        )
-        if not sizes.all():
-            raise ConfigurationError("records must be non-empty sets of elements")
-        # Integer elements fingerprint as their two's-complement uint64
-        # bit pattern — exactly element_fingerprint's ``& MAX_UINT64``.
-        fingerprints = elements.astype(np.uint64)
+        result = _flatten_integer(flat_values, raw_lengths, num_records)
     else:
         flat: list = []
         sizes = np.empty(num_records, dtype=np.int64)
@@ -261,31 +342,79 @@ def flatten_records(records: Sequence[Iterable[object]]) -> FlatRecords:
         offsets = np.concatenate(
             [np.zeros(1, dtype=np.int64), np.cumsum(sizes, dtype=np.int64)]
         )
-        elements = flat
         fingerprints = fingerprint_many(flat)
-    # return_index would force np.unique onto a stable (merge) argsort;
-    # recover first occurrences from the inverse with a reverse scatter
-    # instead (later writes win, so writing positions in descending order
-    # leaves each unique its smallest occurrence index).
-    unique, inverse, counts = np.unique(
-        fingerprints, return_inverse=True, return_counts=True
+        unique, inverse, counts = np.unique(
+            fingerprints, return_inverse=True, return_counts=True
+        )
+        inverse = np.ascontiguousarray(inverse, dtype=np.int64)
+        result = FlatRecords(
+            offsets=offsets,
+            elements=flat,
+            fingerprints=fingerprints,
+            unique_fingerprints=unique,
+            first_occurrence=_first_occurrences(inverse, unique.size),
+            inverse=inverse,
+            counts=counts.astype(np.int64, copy=False),
+        )
+    if profile is not None:
+        profile.record(
+            "flatten",
+            time.perf_counter() - start,
+            rows=num_records,
+            nbytes=result.fingerprints.nbytes
+            + result.inverse.nbytes
+            + result.unique_fingerprints.nbytes,
+        )
+    return result
+
+
+def slice_flat_records(flat: FlatRecords, positions: np.ndarray) -> FlatRecords:
+    """A per-record subset of a flattened dataset, without re-flattening.
+
+    ``positions`` selects records of ``flat`` (in the order given); the
+    result is a :class:`FlatRecords` over exactly those records whose
+    per-occurrence columns (``elements``, ``fingerprints``, ``inverse``)
+    are CSR gathers of the parent's — no re-hashing, no second frequency
+    pass.  The unique-universe columns are **shared with the parent**:
+    ``unique_fingerprints`` / ``counts`` stay the *global* universe and
+    ``inverse`` keeps indexing it, which is precisely what the
+    pinned-parameter sketch kernels (:func:`bulk_sketch`,
+    :func:`bulk_kmv_value_rows` with their ``unique_hashes`` argument)
+    consume — a sharded build hashes the universe once and every shard
+    gathers from it.
+
+    Because the universe is the parent's, ``first_occurrence`` also
+    still indexes the *parent's* flat column: do not call
+    :meth:`FlatRecords.representatives` or :func:`select_vocabulary` on
+    a slice — parameters are planned on the full dataset before slicing.
+    """
+    positions = np.ascontiguousarray(positions, dtype=np.int64)
+    lengths = flat.record_sizes[positions]
+    offsets = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(lengths, dtype=np.int64)]
     )
-    inverse = np.ascontiguousarray(inverse, dtype=np.int64)
-    first = np.empty(unique.size, dtype=np.int64)
-    positions = np.arange(fingerprints.size - 1, -1, -1, dtype=np.int64)
-    first[inverse[positions]] = positions
+    starts = np.asarray(flat.offsets)[positions]
+    gather = np.arange(int(offsets[-1]), dtype=np.int64) + np.repeat(
+        starts - offsets[:-1], lengths
+    )
+    if isinstance(flat.elements, np.ndarray):
+        elements = flat.elements[gather]
+    else:
+        elements = [flat.elements[index] for index in gather.tolist()]
     return FlatRecords(
         offsets=offsets,
         elements=elements,
-        fingerprints=fingerprints,
-        unique_fingerprints=unique,
-        first_occurrence=first,
-        inverse=inverse,
-        counts=counts.astype(np.int64, copy=False),
+        fingerprints=flat.fingerprints[gather],
+        unique_fingerprints=flat.unique_fingerprints,
+        first_occurrence=flat.first_occurrence,
+        inverse=flat.inverse[gather],
+        counts=flat.counts,
     )
 
 
-def select_vocabulary(flat: FlatRecords, size: int) -> FrequentElementVocabulary:
+def select_vocabulary(
+    flat: FlatRecords, size: int, profile: BuildProfile | None = None
+) -> FrequentElementVocabulary:
     """Top-``size`` frequent-element vocabulary straight from the flat counts.
 
     Exactly what ``FrequentElementVocabulary.from_frequencies`` selects
@@ -295,23 +424,34 @@ def select_vocabulary(flat: FlatRecords, size: int) -> FrequentElementVocabulary
     its ``(-count, repr)`` tie-break) is delegated to
     ``from_frequencies`` over that subset, so the two build paths share
     one selection authority.
+
+    ``profile`` records the pass as one ``"vocabulary"`` stage.
     """
     if size < 0:
         raise ConfigurationError("vocabulary size must be non-negative")
+    start = time.perf_counter()
     counts = flat.counts
     num_unique = int(counts.size)
     if size == 0:
-        return FrequentElementVocabulary([])
-    if size < num_unique:
-        cutoff = np.partition(counts, num_unique - size)[num_unique - size]
-        qualifying = np.nonzero(counts >= cutoff)[0]
+        vocabulary = FrequentElementVocabulary([])
     else:
-        qualifying = np.arange(num_unique)
-    frequencies = {
-        flat.element_at(int(flat.first_occurrence[position])): int(counts[position])
-        for position in qualifying.tolist()
-    }
-    return FrequentElementVocabulary.from_frequencies(frequencies, size)
+        if size < num_unique:
+            cutoff = np.partition(counts, num_unique - size)[num_unique - size]
+            qualifying = np.nonzero(counts >= cutoff)[0]
+        else:
+            qualifying = np.arange(num_unique)
+        frequencies = {
+            flat.element_at(int(flat.first_occurrence[position])): int(
+                counts[position]
+            )
+            for position in qualifying.tolist()
+        }
+        vocabulary = FrequentElementVocabulary.from_frequencies(frequencies, size)
+    if profile is not None:
+        profile.record(
+            "vocabulary", time.perf_counter() - start, rows=num_unique
+        )
+    return vocabulary
 
 
 @dataclass(frozen=True)
@@ -460,6 +600,7 @@ def bulk_sketch(
     hasher: UnitHash,
     num_words: int,
     unique_hashes: np.ndarray | None = None,
+    profile: BuildProfile | None = None,
 ) -> BulkSketches:
     """Sketch a flattened dataset under pinned parameters, all at once.
 
@@ -473,8 +614,10 @@ def bulk_sketch(
     ``unique_hashes`` lets a caller that already hashed
     ``flat.unique_fingerprints`` (the build path hashes the residual
     universe for the threshold computation) hand the full array in and
-    skip the redundant hashing pass.
+    skip the redundant hashing pass.  ``profile`` records the pass as
+    one ``"sketch"`` stage (per-shard recordings sum to dataset size).
     """
+    start = time.perf_counter()
     num_records = flat.num_records
     record_of = np.repeat(
         np.arange(num_records, dtype=np.int64), flat.record_sizes
@@ -500,17 +643,29 @@ def bulk_sketch(
     kept_values, _value_lengths, value_offsets = _sorted_distinct_per_record(
         residual_records[kept], occurrence_hashes[kept], num_records
     )
-    return BulkSketches(
+    sketches = BulkSketches(
         values=kept_values,
         value_offsets=value_offsets,
         signatures=signatures,
         residual_record_sizes=residual_record_sizes.astype(np.int64, copy=False),
         record_sizes=flat.record_sizes.astype(np.int64, copy=False),
     )
+    if profile is not None:
+        profile.record(
+            "sketch",
+            time.perf_counter() - start,
+            rows=num_records,
+            nbytes=sketches.values.nbytes + sketches.signatures.nbytes,
+        )
+    return sketches
 
 
 def bulk_kmv_value_rows(
-    flat: FlatRecords, hasher: UnitHash, k_per_record: int
+    flat: FlatRecords,
+    hasher: UnitHash,
+    k_per_record: int,
+    unique_hashes: np.ndarray | None = None,
+    profile: BuildProfile | None = None,
 ) -> list[np.ndarray]:
     """Each record's ``k`` smallest distinct hash values, selected in bulk.
 
@@ -519,14 +674,23 @@ def bulk_kmv_value_rows(
     equal values within a record at segment boundaries, and keep the
     first ``k`` survivors of each record's segment — bitwise identical to
     ``np.unique(hash_many(record))[:k]`` per record.
+
+    ``unique_hashes`` lets a caller that already hashed
+    ``flat.unique_fingerprints`` (the sharded planner hashes the global
+    universe once for every shard) hand the array in; ``profile``
+    records the pass as one ``"sketch"`` stage.
     """
     if k_per_record < 1:
         raise ConfigurationError("k_per_record must be positive")
+    start = time.perf_counter()
     num_records = flat.num_records
+    if num_records == 0:
+        return []
     record_of = np.repeat(
         np.arange(num_records, dtype=np.int64), flat.record_sizes
     )
-    unique_hashes = hasher.hash_fingerprints(flat.unique_fingerprints)
+    if unique_hashes is None:
+        unique_hashes = hasher.hash_fingerprints(flat.unique_fingerprints)
     values, lengths, offsets = _sorted_distinct_per_record(
         record_of, unique_hashes[flat.inverse], num_records
     )
@@ -540,4 +704,12 @@ def bulk_kmv_value_rows(
     # Copies, not views: np.split views would all pin the whole batch
     # buffer through their .base, so one surviving row after heavy
     # deletes would keep the entire build's memory alive.
-    return [row.copy() for row in np.split(values, splits)]
+    rows = [row.copy() for row in np.split(values, splits)]
+    if profile is not None:
+        profile.record(
+            "sketch",
+            time.perf_counter() - start,
+            rows=num_records,
+            nbytes=values.nbytes,
+        )
+    return rows

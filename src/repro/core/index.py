@@ -82,13 +82,19 @@ from repro.core.cost_model import (
 )
 from repro.core.gbkmv import GBKMVSketch
 from repro.core.gkmv import GKMVSketch
+from repro.core.profiling import BuildProfile
 from repro.core.store import ColumnarSketchStore
 from repro.hashing import UnitHash
 
 
 @dataclass(frozen=True)
 class IndexStatistics:
-    """Summary of a built index, used by the space/time benchmarks."""
+    """Summary of a built index, used by the space/time benchmarks.
+
+    ``build_profile`` is the per-stage wall-clock breakdown of the build
+    that produced the index (``None`` for indexes built per-record,
+    loaded from a snapshot, or grown purely through inserts).
+    """
 
     num_records: int
     total_elements: int
@@ -97,6 +103,7 @@ class IndexStatistics:
     space_in_values: float
     space_fraction: float
     budget_in_values: float
+    build_profile: BuildProfile | None = None
 
 
 #: Default number of physical rows a fused workload pass scores per block.
@@ -326,6 +333,9 @@ class GBKMVIndex(SimilarityIndex):
         #: Footprint of the most recent fused workload pass (``search_many``
         #: / ``top_k_many``), or ``None`` before the first one.
         self.last_workload_stats: WorkloadExecutionStats | None = None
+        #: Per-stage wall-clock breakdown of the bulk build that produced
+        #: this index, or ``None`` when no bulk build ran.
+        self.last_build_profile: BuildProfile | None = None
 
     # ------------------------------------------------------------------ build
     @staticmethod
@@ -388,7 +398,8 @@ class GBKMVIndex(SimilarityIndex):
                 seed=seed,
                 cost_model_pair_sample=cost_model_pair_sample,
             )
-        flat = flatten_records(records)
+        profile = BuildProfile()
+        flat = flatten_records(records, profile=profile)
         params = cls.plan_parameters(
             flat,
             space_fraction=space_fraction,
@@ -397,6 +408,7 @@ class GBKMVIndex(SimilarityIndex):
             hasher=hasher,
             seed=seed,
             cost_model_pair_sample=cost_model_pair_sample,
+            profile=profile,
         )
         index = cls(
             vocabulary=params.vocabulary,
@@ -405,8 +417,12 @@ class GBKMVIndex(SimilarityIndex):
             budget=params.budget,
         )
         index._ingest_bulk(
-            flat, lookup=params.lookup, unique_hashes=params.unique_hashes
+            flat,
+            lookup=params.lookup,
+            unique_hashes=params.unique_hashes,
+            profile=profile,
         )
+        index.last_build_profile = profile
         return index
 
     @classmethod
@@ -419,6 +435,7 @@ class GBKMVIndex(SimilarityIndex):
         hasher: UnitHash | None = None,
         seed: int = 0,
         cost_model_pair_sample: int = 256,
+        profile: BuildProfile | None = None,
     ) -> "PlannedParameters":
         """Algorithm 1's parameter derivation, without the ingest.
 
@@ -456,7 +473,7 @@ class GBKMVIndex(SimilarityIndex):
             if chosen_r < 0:
                 raise ConfigurationError("buffer_size must be non-negative")
 
-        vocabulary = select_vocabulary(flat, chosen_r)
+        vocabulary = select_vocabulary(flat, chosen_r, profile=profile)
         buffer_cost = flat.num_records * vocabulary.size / BITS_PER_SIGNATURE_UNIT
         residual_budget = max(budget - buffer_cost, 0.0)
         # The vocabulary's elements are exactly representatives of unique
@@ -591,7 +608,11 @@ class GBKMVIndex(SimilarityIndex):
             vocabulary=vocabulary, threshold=threshold, hasher=hasher, budget=budget
         )
         if method == "bulk":
-            index._ingest_bulk(flatten_records(records))
+            profile = BuildProfile()
+            index._ingest_bulk(
+                flatten_records(records, profile=profile), profile=profile
+            )
+            index.last_build_profile = profile
         else:
             for record in records:
                 materialized = set(record)
@@ -600,6 +621,39 @@ class GBKMVIndex(SimilarityIndex):
                         "records must be non-empty sets of elements"
                     )
                 index._add_record(materialized)
+        return index
+
+    @classmethod
+    def from_flat(
+        cls,
+        flat: FlatRecords,
+        vocabulary: FrequentElementVocabulary,
+        threshold: float,
+        hasher: UnitHash,
+        budget: float,
+        lookup: VocabularyLookup | None = None,
+        unique_hashes: np.ndarray | None = None,
+        profile: BuildProfile | None = None,
+    ) -> "GBKMVIndex":
+        """Sketch an already-flattened dataset under pinned parameters.
+
+        The flatten-once rebuild primitive: :meth:`from_parameters`
+        without the re-flatten.  The sharded planner flattens (and
+        fingerprints) the full dataset exactly once, slices per-shard
+        :func:`~repro.core.bulk.slice_flat_records` views out of it, and
+        hands each view here together with the once-planned ``lookup``
+        and ``unique_hashes`` — so neither hashing nor the frequency
+        pass ever runs twice.  ``flat`` may be such a slice: only its
+        per-occurrence columns and ``inverse``-into-``unique_hashes``
+        contract are consumed.
+        """
+        index = cls(
+            vocabulary=vocabulary, threshold=threshold, hasher=hasher, budget=budget
+        )
+        index._ingest_bulk(
+            flat, lookup=lookup, unique_hashes=unique_hashes, profile=profile
+        )
+        index.last_build_profile = profile
         return index
 
     def _sketch_parts(self, record: set) -> tuple[int, np.ndarray, int]:
@@ -623,7 +677,11 @@ class GBKMVIndex(SimilarityIndex):
         )
 
     def _ingest_bulk(
-        self, flat: FlatRecords, lookup=None, unique_hashes=None
+        self,
+        flat: FlatRecords,
+        lookup=None,
+        unique_hashes=None,
+        profile: BuildProfile | None = None,
     ) -> np.ndarray:
         """Sketch a flattened batch in bulk and append it in one staged merge.
 
@@ -647,6 +705,7 @@ class GBKMVIndex(SimilarityIndex):
             self._hasher,
             self._store.num_words,
             unique_hashes=unique_hashes,
+            profile=profile,
         )
         return self._store.append_bulk(
             values=sketches.values,
@@ -654,6 +713,7 @@ class GBKMVIndex(SimilarityIndex):
             signatures=sketches.signatures,
             residual_record_sizes=sketches.residual_record_sizes,
             record_sizes=sketches.record_sizes,
+            profile=profile,
         )
 
     # ------------------------------------------------------------ introspection
@@ -729,6 +789,7 @@ class GBKMVIndex(SimilarityIndex):
             space_in_values=self.space_in_values(),
             space_fraction=self.space_fraction(),
             budget_in_values=self._budget,
+            build_profile=self.last_build_profile,
         )
 
     def sketch(self, record_id: int) -> GBKMVSketch:

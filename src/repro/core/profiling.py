@@ -1,0 +1,117 @@
+"""Build-stage wall-clock profiling for the bulk construction pipeline.
+
+Construction of a GB-KMV index is a handful of whole-dataset array
+passes — flatten/dedup, vocabulary selection, sketching, the store
+append — and which of them dominates shifts as the pipeline evolves
+(the lexsort dedup rewrite, the sharded fan-out).  A
+:class:`BuildProfile` records each stage's wall time plus the rows and
+bytes it processed, so benchmarks can report *where* a build spends its
+time instead of one opaque total.
+
+The profile is threaded through the pipeline as an optional argument
+(``profile=None`` keeps every path zero-overhead) and is shared across
+threads during a parallel sharded build, so :meth:`BuildProfile.record`
+takes a lock.  The aggregated view — :meth:`BuildProfile.stage_seconds`
+summing every recording of a stage name — is what lands in the
+``BENCH_*`` payloads via :meth:`BuildProfile.as_dict`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BuildStage:
+    """One recorded pipeline stage: wall time plus work-size metadata.
+
+    ``rows`` is the number of records the stage processed (per-shard
+    recordings of the same stage sum to the dataset size) and ``nbytes``
+    the payload volume it produced or moved — both informational, both
+    zero when a stage has no natural measure.
+    """
+
+    name: str
+    seconds: float
+    rows: int = 0
+    nbytes: int = 0
+
+
+class BuildProfile:
+    """Thread-safe accumulator of :class:`BuildStage` recordings.
+
+    One profile instance covers one logical build: the unsharded
+    pipeline records each stage once, a sharded build records the shared
+    stages (flatten, vocabulary) once and the per-shard stages (sketch,
+    append) once per shard — possibly concurrently from executor
+    threads, hence the lock.
+    """
+
+    def __init__(self) -> None:
+        self._stages: list[BuildStage] = []
+        self._lock = threading.Lock()
+
+    def record(
+        self, name: str, seconds: float, rows: int = 0, nbytes: int = 0
+    ) -> None:
+        """Append one stage recording (thread-safe)."""
+        stage = BuildStage(
+            name=str(name), seconds=float(seconds), rows=int(rows), nbytes=int(nbytes)
+        )
+        with self._lock:
+            self._stages.append(stage)
+
+    @contextmanager
+    def stage(self, name: str, rows: int = 0, nbytes: int = 0):
+        """Time a ``with`` block as one recording of ``name``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(name, time.perf_counter() - start, rows=rows, nbytes=nbytes)
+
+    @property
+    def stages(self) -> tuple[BuildStage, ...]:
+        """Every recording, in completion order."""
+        with self._lock:
+            return tuple(self._stages)
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Total wall time per stage name (parallel recordings sum)."""
+        totals: dict[str, float] = {}
+        for stage in self.stages:
+            totals[stage.name] = totals.get(stage.name, 0.0) + stage.seconds
+        return totals
+
+    def stage_rows(self) -> dict[str, int]:
+        """Total rows per stage name."""
+        totals: dict[str, int] = {}
+        for stage in self.stages:
+            totals[stage.name] = totals.get(stage.name, 0) + stage.rows
+        return totals
+
+    def total_seconds(self) -> float:
+        """Sum of every recording (counts overlapped parallel stages twice)."""
+        return float(sum(stage.seconds for stage in self.stages))
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary for the ``BENCH_*`` payloads."""
+        return {
+            "stage_seconds": {
+                name: round(seconds, 4)
+                for name, seconds in self.stage_seconds().items()
+            },
+            "stage_rows": self.stage_rows(),
+            "stages": [
+                {
+                    "name": stage.name,
+                    "seconds": round(stage.seconds, 4),
+                    "rows": stage.rows,
+                    "nbytes": stage.nbytes,
+                }
+                for stage in self.stages
+            ],
+        }

@@ -54,12 +54,14 @@ store has seen deletes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro._errors import ConfigurationError
+from repro.core.profiling import BuildProfile
 
 #: Bits per packed signature word.
 BITS_PER_WORD = 64
@@ -301,6 +303,7 @@ class ColumnarSketchStore:
         signatures: np.ndarray,
         residual_record_sizes: np.ndarray,
         record_sizes: np.ndarray,
+        profile: BuildProfile | None = None,
     ) -> np.ndarray:
         """Append a whole batch of rows in one staged-batch merge.
 
@@ -315,7 +318,9 @@ class ColumnarSketchStore:
         the per-row value counts, and ``signatures`` the packed
         ``(n, num_words)`` uint64 bitmap matrix.  Record ids are assigned
         sequentially; the batch's ids are returned as an int64 array.
+        ``profile`` records the merge as one ``"append"`` stage.
         """
+        start = time.perf_counter()
         value_lengths = np.ascontiguousarray(value_lengths, dtype=np.int64)
         num_new = int(value_lengths.size)
         record_sizes = np.ascontiguousarray(record_sizes, dtype=np.int64)
@@ -358,6 +363,13 @@ class ColumnarSketchStore:
             np.zeros(num_new, dtype=bool),
         )
         self._finalized = False
+        if profile is not None:
+            profile.record(
+                "append",
+                time.perf_counter() - start,
+                rows=num_new,
+                nbytes=values.nbytes + signatures.nbytes,
+            )
         return ids
 
     def _absorb_tail(self) -> None:

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro._errors import ConfigurationError, EmptyDatasetError
 from repro.api.config import IndexConfig, ShardedConfig
+from repro.core.profiling import BuildProfile
 from repro.api.interface import Capabilities, SimilarityIndex
 from repro.api.registry import get_backend
 from repro.api.results import SearchResult
@@ -74,6 +75,9 @@ class ShardedIndex(SimilarityIndex):
         self._inner_backend = str(inner_backend)
         self._max_workers = None if max_workers is None else int(max_workers)
         self._executor = ShardExecutor(self._num_shards, self._max_workers)
+        #: Per-stage wall-clock breakdown of the build that produced this
+        #: index, or ``None`` (loads, hand-assembled shard lists).
+        self.last_build_profile: BuildProfile | None = None
         # Bidirectional id routing, reconstructed from the id count: the
         # mapping is a pure function of (next_global_id, num_shards).
         local_ids, shard_globals = routing_tables(
@@ -122,18 +126,27 @@ class ShardedIndex(SimilarityIndex):
         assignments = shards_of(
             np.arange(len(materialized), dtype=np.uint64), num_shards
         )
-        shard_records: list[list] = [[] for _ in range(num_shards)]
-        for position, shard in enumerate(assignments.tolist()):
-            shard_records[shard].append(materialized[position])
+        groups = [
+            np.nonzero(assignments == shard)[0] for shard in range(num_shards)
+        ]
+        profile = BuildProfile()
         shards = build_shards(
-            materialized, shard_records, config.inner_backend, config.inner_config
+            materialized,
+            groups,
+            config.inner_backend,
+            config.inner_config,
+            build_workers=config.build_workers,
+            build_executor=config.build_executor,
+            profile=profile,
         )
-        return cls(
+        index = cls(
             shards,
             config.inner_backend,
             next_global_id=len(materialized),
             max_workers=config.max_workers,
         )
+        index.last_build_profile = profile
+        return index
 
     # ---------------------------------------------------------------- search
     def search(

@@ -19,11 +19,13 @@ import pytest
 from repro._errors import ConfigurationError, EmptyDatasetError
 from repro.baselines import GKMVSearchIndex, KMVSearchIndex
 from repro.core import (
+    BuildProfile,
     FingerprintCollisionError,
     FrequentElementVocabulary,
     GBKMVIndex,
     bulk_kmv_value_rows,
     flatten_records,
+    slice_flat_records,
     vocabulary_lookup,
 )
 from repro.datasets import generate_zipf_dataset, sample_queries
@@ -353,3 +355,162 @@ class TestStoreBulkAppend:
             record_sizes=np.empty(0, dtype=np.int64),
         )
         assert ids.size == 0
+
+
+class TestFlattenSortOnce:
+    """The integer fast path's single value-major lexsort must reproduce
+    the ``np.unique`` pipeline bit for bit — including for negative
+    elements, whose uint64 fingerprints sort differently from their
+    signed values."""
+
+    def _assert_unique_view_consistent(self, flat, records):
+        # The universe must be exactly np.unique over the per-record
+        # distinct fingerprint column, in ascending uint64 order.
+        unique, inverse, counts = np.unique(
+            flat.fingerprints, return_inverse=True, return_counts=True
+        )
+        assert np.array_equal(flat.unique_fingerprints, unique)
+        assert np.array_equal(flat.inverse, inverse)
+        assert np.array_equal(flat.counts, counts)
+        assert np.array_equal(
+            flat.unique_fingerprints[flat.inverse], flat.fingerprints
+        )
+        # first_occurrence points at the earliest flat position.
+        for position, fingerprint in enumerate(
+            flat.unique_fingerprints.tolist()
+        ):
+            first = int(flat.first_occurrence[position])
+            assert int(flat.fingerprints[first]) == fingerprint
+            assert not np.any(flat.fingerprints[:first] == fingerprint)
+        # Per-record content is exactly set(record).
+        for position, record in enumerate(records):
+            assert sorted(flat.record_elements(position)) == sorted(
+                set(int(value) for value in record)
+            )
+
+    def test_negative_int64_records_take_fast_path_and_match(self):
+        rng = np.random.default_rng(11)
+        records = [
+            rng.integers(-1000, 1000, size=int(rng.integers(1, 30))).astype(
+                np.int64
+            )
+            for _ in range(200)
+        ]
+        flat = flatten_records(records)
+        assert isinstance(flat.elements, np.ndarray)
+        # Negative values map to large uint64 fingerprints.
+        assert np.array_equal(
+            flat.fingerprints, flat.elements.astype(np.uint64)
+        )
+        self._assert_unique_view_consistent(flat, records)
+
+    def test_powerlaw_fast_path_matches_unique_pipeline(self):
+        records = powerlaw_records()
+        flat = flatten_records(records)
+        assert isinstance(flat.elements, np.ndarray)
+        self._assert_unique_view_consistent(flat, records)
+
+    def test_fast_path_rejects_empty_record(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            flatten_records([np.array([1, 2]), np.array([], dtype=np.int64)])
+
+
+class TestSliceFlatRecords:
+    def test_slice_gathers_per_record_columns(self):
+        records = powerlaw_records()
+        flat = flatten_records(records)
+        positions = np.array([7, 0, 399, 123, 123], dtype=np.int64)
+        piece = slice_flat_records(flat, positions)
+        assert piece.num_records == positions.size
+        for local, global_position in enumerate(positions.tolist()):
+            assert list(piece.record_elements(local)) == list(
+                flat.record_elements(global_position)
+            )
+        # The unique universe is shared with the parent, and the sliced
+        # inverse still indexes it.
+        assert piece.unique_fingerprints is flat.unique_fingerprints
+        assert piece.counts is flat.counts
+        assert np.array_equal(
+            piece.unique_fingerprints[piece.inverse], piece.fingerprints
+        )
+
+    def test_slice_of_list_elements(self):
+        flat = flatten_records([["a", "b"], ["c"], ["a", "d"]])
+        piece = slice_flat_records(flat, np.array([2, 0]))
+        assert sorted(piece.record_elements(0)) == ["a", "d"]
+        assert sorted(piece.record_elements(1)) == ["a", "b"]
+
+    def test_empty_slice_yields_empty_kmv_rows(self):
+        flat = flatten_records(powerlaw_records(num_records=20))
+        piece = slice_flat_records(flat, np.empty(0, dtype=np.int64))
+        assert piece.num_records == 0
+        assert bulk_kmv_value_rows(piece, UnitHash(seed=0), 3) == []
+
+    def test_sliced_sketches_match_full_dataset_rows(self):
+        # Sketching a slice under globally pinned parameters must equal
+        # the corresponding rows of the full-dataset build.
+        records = powerlaw_records()
+        queries, _ = sample_queries(records, num_queries=10, seed=5)
+        flat = flatten_records(records)
+        params = GBKMVIndex.plan_parameters(flat, space_fraction=0.15)
+        positions = np.arange(0, len(records), 3, dtype=np.int64)
+        piece = slice_flat_records(flat, positions)
+        partial = GBKMVIndex.from_flat(
+            piece,
+            vocabulary=params.vocabulary,
+            threshold=params.threshold,
+            hasher=params.hasher,
+            budget=params.budget,
+            lookup=params.lookup,
+            unique_hashes=params.unique_hashes,
+        )
+        reference = GBKMVIndex.from_parameters(
+            [records[position] for position in positions.tolist()],
+            vocabulary=params.vocabulary,
+            threshold=params.threshold,
+            hasher=params.hasher,
+            budget=params.budget,
+        )
+        assert_same_index(partial, reference, queries)
+
+
+class TestBuildProfile:
+    def test_bulk_build_exposes_stage_breakdown(self):
+        records = powerlaw_records()
+        index = GBKMVIndex.build(records, space_fraction=0.15)
+        profile = index.last_build_profile
+        assert profile is not None
+        seconds = profile.stage_seconds()
+        assert {"flatten", "vocabulary", "sketch", "append"} <= set(seconds)
+        assert all(value >= 0.0 for value in seconds.values())
+        rows = profile.stage_rows()
+        assert rows["flatten"] == len(records)
+        assert rows["sketch"] == len(records)
+        assert rows["append"] == len(records)
+        assert index.statistics().build_profile is profile
+        payload = profile.as_dict()
+        assert set(payload) == {"stage_seconds", "stage_rows", "stages"}
+        assert all(stage["seconds"] >= 0.0 for stage in payload["stages"])
+
+    def test_per_record_build_has_no_profile(self):
+        records = powerlaw_records(num_records=50)
+        index = GBKMVIndex.build(
+            records, space_fraction=0.15, method="per-record"
+        )
+        assert index.last_build_profile is None
+        assert index.statistics().build_profile is None
+
+    def test_profile_is_thread_safe_and_orders_recordings(self):
+        profile = BuildProfile()
+        with profile.stage("flatten", rows=10):
+            pass
+        profile.record("sketch", 0.25, rows=4)
+        profile.record("sketch", 0.5, rows=6)
+        assert [stage.name for stage in profile.stages] == [
+            "flatten",
+            "sketch",
+            "sketch",
+        ]
+        assert profile.stage_rows() == {"flatten": 10, "sketch": 10}
+        assert profile.stage_seconds()["sketch"] == pytest.approx(0.75)
+        assert profile.total_seconds() >= 0.75

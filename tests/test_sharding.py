@@ -24,6 +24,7 @@ from repro.api.config import IndexConfig
 from repro.core.index import GBKMVIndex
 from repro.hashing import mix64
 from repro.sharding.backend import ShardedIndex
+from repro.sharding.executor import ShardExecutor
 from repro.sharding.partitioner import routing_tables, shard_of, shards_of
 
 _INNER_CONFIGS = {
@@ -453,3 +454,190 @@ def test_generic_backend_rejects_empty_shards():
             _dataset(1),
             ShardedConfig(num_shards=8, inner_backend="toy-dynamic"),
         )
+
+
+# ------------------------------------------------------- parallel build
+def _shard_state(shard):
+    """A shard's sketch state as comparable arrays, per inner backend."""
+    if isinstance(shard, GBKMVIndex):
+        return shard.store.state_arrays()
+    inner = getattr(shard, "inner", None)
+    if isinstance(inner, GBKMVIndex):
+        return inner.store.state_arrays()
+    # KMV baseline: the value rows and record sizes are the state.
+    return {
+        "rows": shard._value_rows,
+        "record_sizes": np.asarray(shard._record_sizes),
+    }
+
+
+def assert_identical_shard_states(expected, actual):
+    assert expected.num_shards == actual.num_shards
+    for expected_shard, actual_shard in zip(expected.shards, actual.shards):
+        expected_state = _shard_state(expected_shard)
+        actual_state = _shard_state(actual_shard)
+        assert expected_state.keys() == actual_state.keys()
+        for name in expected_state:
+            expected_value = expected_state[name]
+            if isinstance(expected_value, list):
+                assert len(expected_value) == len(actual_state[name])
+                for left, right in zip(expected_value, actual_state[name]):
+                    assert np.array_equal(left, right), name
+            else:
+                assert np.array_equal(expected_value, actual_state[name]), name
+
+
+@pytest.mark.parametrize("inner_backend", ["gbkmv", "gkmv", "kmv"])
+@pytest.mark.parametrize("num_shards", [1, 3, 8])
+def test_parallel_build_identical_to_serial(inner_backend, num_shards):
+    records = _dataset()
+    queries = _queries()
+    serial = create_index(
+        "sharded",
+        records,
+        ShardedConfig(
+            num_shards=num_shards,
+            inner_backend=inner_backend,
+            inner_config=_INNER_CONFIGS[inner_backend],
+            build_workers=1,
+        ),
+    )
+    parallel = create_index(
+        "sharded",
+        records,
+        ShardedConfig(
+            num_shards=num_shards,
+            inner_backend=inner_backend,
+            inner_config=_INNER_CONFIGS[inner_backend],
+            build_workers=3,
+        ),
+    )
+    try:
+        assert_identical_shard_states(serial, parallel)
+        assert_identical_workload(
+            serial.search_many(queries, 0.5), parallel.search_many(queries, 0.5)
+        )
+    finally:
+        serial.close()
+        parallel.close()
+
+
+@pytest.mark.parametrize("inner_backend", ["gbkmv", "kmv"])
+def test_process_pool_build_identical_to_serial(inner_backend):
+    records = _dataset(num_records=120)
+    queries = _queries()
+    serial = create_index(
+        "sharded",
+        records,
+        ShardedConfig(
+            num_shards=4,
+            inner_backend=inner_backend,
+            inner_config=_INNER_CONFIGS[inner_backend],
+            build_workers=1,
+        ),
+    )
+    process = create_index(
+        "sharded",
+        records,
+        ShardedConfig(
+            num_shards=4,
+            inner_backend=inner_backend,
+            inner_config=_INNER_CONFIGS[inner_backend],
+            build_workers=2,
+            build_executor="process",
+        ),
+    )
+    try:
+        assert_identical_shard_states(serial, process)
+        assert_identical_workload(
+            serial.search_many(queries, 0.5), process.search_many(queries, 0.5)
+        )
+    finally:
+        serial.close()
+        process.close()
+
+
+def test_parallel_build_identical_to_unsharded_gbkmv():
+    records = _dataset()
+    queries = _queries()
+    unsharded = GBKMVIndex.from_records(records, config=_INNER_CONFIGS["gbkmv"])
+    sharded = create_index(
+        "sharded",
+        records,
+        ShardedConfig(
+            num_shards=5,
+            inner_backend="gbkmv",
+            inner_config=_INNER_CONFIGS["gbkmv"],
+            build_workers=3,
+        ),
+    )
+    try:
+        assert_identical_workload(
+            unsharded.search_many(queries, 0.5),
+            sharded.search_many(queries, 0.5),
+        )
+    finally:
+        sharded.close()
+
+
+def test_build_profile_rows_sum_to_dataset_size():
+    records = _dataset()
+    index = create_index(
+        "sharded",
+        records,
+        ShardedConfig(num_shards=4, inner_backend="gbkmv", build_workers=3),
+    )
+    try:
+        profile = index.last_build_profile
+        assert profile is not None
+        seconds = profile.stage_seconds()
+        assert {"flatten", "vocabulary", "sketch", "append"} <= set(seconds)
+        assert all(value >= 0.0 for value in seconds.values())
+        rows = profile.stage_rows()
+        assert rows["flatten"] == len(records)
+        # Per-shard sketch/append recordings sum back to the dataset.
+        assert rows["sketch"] == len(records)
+        assert rows["append"] == len(records)
+    finally:
+        index.close()
+
+
+def test_invalid_build_executor_rejected():
+    with pytest.raises(ConfigurationError, match="executor kind"):
+        create_index(
+            "sharded",
+            _dataset(num_records=20),
+            ShardedConfig(num_shards=2, build_executor="fiber"),
+        )
+
+
+# ------------------------------------------------------- executor
+def test_executor_runs_inline_on_one_worker():
+    executor = ShardExecutor(4, max_workers=1)
+    assert executor.workers == 1
+    assert executor.map(lambda item: item * 2, [1, 2, 3]) == [2, 4, 6]
+    # Inline execution never materialises a pool.
+    assert executor._pool is None
+    executor.close()
+
+
+def test_executor_honours_oversubscription_guard():
+    executor = ShardExecutor(8, max_workers=3)
+    try:
+        assert executor.workers == 3
+        assert executor.map(lambda item: item + 1, list(range(8))) == list(
+            range(1, 9)
+        )
+    finally:
+        executor.close()
+
+
+def test_executor_caps_workers_at_shard_count():
+    executor = ShardExecutor(2, max_workers=16)
+    assert executor.workers == 2
+    executor.close()
+
+
+def test_executor_rejects_unknown_kind():
+    with pytest.raises(ConfigurationError, match="executor kind"):
+        ShardExecutor(2, kind="fiber")
