@@ -1,0 +1,277 @@
+"""Macro-benchmark — the serving layer's micro-batching under closed-loop load.
+
+The serving PR claims :class:`repro.api.SimilarityService` recovers the
+fused query engine's batch advantage at a live front door: concurrent
+single-request searches that land inside the micro-batch window execute
+as one ``search_many`` call, without changing a single answer.
+
+This benchmark pins the claim with the closed-loop load generator
+(``repro.serving.loadgen``) over a power-law corpus (40k records x
+``REPRO_BENCH_SCALE`` / 0.25, so 10k at the default):
+
+* an **unbatched baseline** service (``max_batch_size=1`` — one engine
+  call per request, the per-query path), and
+* the **batched** service (64-deep window) under the same 32-client
+  closed loop,
+
+plus a **mixed read/write** phase exercising write coalescing end to
+end.  Asserted invariants:
+
+* answers served through the batcher are **bitwise identical** to
+  direct ``search_many``/``top_k_many`` calls on the wrapped index —
+  micro-batching is a scheduling change, not an approximation;
+* the batched service actually fuses (mean batch size > 1) and the
+  mixed phase actually coalesces (fewer bulk ingests than inserts);
+* on a machine with >= 4 cores, batched closed-loop throughput beats
+  the unbatched baseline by at least **2x** (single-core runs — CI
+  smoke, this container — record the comparison without the guard: the
+  event loop and the worker lane contend for one core, so the window
+  cannot accumulate while the engine runs).
+
+Results (including ``cpu_count``, so a single-core table cannot be
+mistaken for a fusion failure) land in ``BENCH_serving.json`` at the
+repository root.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from _util import bench_num_queries, bench_scale, write_report
+
+from repro.api import GBKMVConfig, ServingConfig, create_index
+from repro.serving import SimilarityService, run_load
+
+SPACE_FRACTION = 0.10
+THRESHOLD = 0.5
+NUM_CLIENTS = 32
+REQUESTS_PER_CLIENT = 25
+#: Cores below which the 2x fusion guard is meaningless: the event loop
+#: cannot accumulate the next window while the engine runs the current
+#: batch on the same core.
+MIN_CORES_FOR_GUARD = 4
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def _num_records() -> int:
+    """10k records at the default scale (0.25); REPRO_BENCH_SCALE tunes it."""
+    return max(int(40_000 * bench_scale()), 2_000)
+
+
+def _power_law_dataset(
+    num_records: int, universe_size: int = 200_000, seed: int = 53
+) -> list[np.ndarray]:
+    """Vectorised power-law corpus (same recipe as the sharded benchmark)."""
+    rng = np.random.default_rng(seed)
+    sizes = np.minimum(rng.zipf(2.2, size=num_records) + 4, 64).astype(np.int64)
+    draws = rng.random(int(sizes.sum()))
+    elements = np.floor(universe_size * draws**2.5).astype(np.int64)
+    return np.split(elements, np.cumsum(sizes)[:-1])
+
+
+def _queries(records: list[np.ndarray]) -> list[np.ndarray]:
+    num_queries = min(bench_num_queries(), len(records))
+    stride = max(len(records) // num_queries, 1)
+    return records[::stride][:num_queries]
+
+
+def _flatten(results) -> list[list[tuple[int, float]]]:
+    return [[(hit.record_id, hit.score) for hit in hits] for hits in results]
+
+
+def _assert_identity(index, queries) -> None:
+    """Batched answers must equal direct engine calls, bit for bit."""
+    expected_search = _flatten(index.search_many(queries, THRESHOLD))
+    expected_top_k = _flatten(index.top_k_many(queries, 10))
+
+    async def scenario():
+        service = SimilarityService(index, close_index=False)
+        async with service:
+            searches = await asyncio.gather(
+                *(service.search(query, THRESHOLD) for query in queries)
+            )
+            tops = await asyncio.gather(
+                *(service.top_k(query, 10) for query in queries)
+            )
+            return searches, tops, service.stats()
+
+    searches, tops, stats = asyncio.run(scenario())
+    assert _flatten(searches) == expected_search, (
+        "micro-batched search drifted from direct search_many"
+    )
+    assert _flatten(tops) == expected_top_k, (
+        "micro-batched top_k drifted from direct top_k_many"
+    )
+    assert stats.batcher.largest_batch > 1, "the identity burst never fused"
+
+
+def _report_row(report) -> dict[str, object]:
+    return {
+        "throughput_rps": round(report.throughput_rps, 2),
+        "wall_seconds": round(report.wall_seconds, 4),
+        "total_requests": report.total_requests,
+        "p50_ms": round(report.latency.p50_ms, 4),
+        "p99_ms": round(report.latency.p99_ms, 4),
+    }
+
+
+def _run() -> dict[str, object]:
+    num_records = _num_records()
+    records = _power_law_dataset(num_records)
+    queries = _queries(records)
+    cpu_count = os.cpu_count() or 1
+
+    index = create_index(
+        "gbkmv", records, GBKMVConfig(space_fraction=SPACE_FRACTION)
+    )
+    _assert_identity(index, queries)
+
+    # --- read-only closed loops: unbatched baseline vs micro-batched -------
+    unbatched_config = ServingConfig(max_batch_size=1, max_batch_delay_us=0.0)
+    unbatched = run_load(
+        SimilarityService(index, unbatched_config, close_index=False),
+        queries,
+        THRESHOLD,
+        num_clients=NUM_CLIENTS,
+        requests_per_client=REQUESTS_PER_CLIENT,
+        top_k_fraction=0.25,
+        seed=19,
+    )
+    batched_config = ServingConfig(max_batch_size=64, max_batch_delay_us=200.0)
+    batched_service = SimilarityService(index, batched_config, close_index=False)
+    batched = run_load(
+        batched_service,
+        queries,
+        THRESHOLD,
+        num_clients=NUM_CLIENTS,
+        requests_per_client=REQUESTS_PER_CLIENT,
+        top_k_fraction=0.25,
+        seed=19,
+    )
+    batch_stats = batched_service.stats().batcher
+    assert batch_stats.mean_batch_size > 1.0, (
+        f"the batched closed loop never fused "
+        f"(mean batch size {batch_stats.mean_batch_size:.2f})"
+    )
+    speedup = (
+        batched.throughput_rps / unbatched.throughput_rps
+        if unbatched.throughput_rps
+        else 0.0
+    )
+
+    # --- mixed read/write phase: write coalescing end to end ---------------
+    mixed_service = SimilarityService(index, batched_config, close_index=False)
+    mixed = run_load(
+        mixed_service,
+        queries,
+        THRESHOLD,
+        num_clients=NUM_CLIENTS,
+        requests_per_client=REQUESTS_PER_CLIENT,
+        insert_pool=records[: NUM_CLIENTS * REQUESTS_PER_CLIENT],
+        write_fraction=0.25,
+        top_k_fraction=0.25,
+        seed=19,
+    )
+    write_stats = mixed_service.stats().writes
+    assert write_stats.pending == 0, "the mixed loop left writes buffered"
+    assert write_stats.insert_batches <= write_stats.inserts, (
+        "coalescing produced more bulk ingests than inserts"
+    )
+    coalescing_factor = (
+        write_stats.inserts / write_stats.insert_batches
+        if write_stats.insert_batches
+        else 0.0
+    )
+
+    # The headline claim — >= 2x batched throughput — needs cores: on one
+    # core the loop and the engine serialize and fusion only saves
+    # per-call overhead.  The comparison is always recorded.
+    guard_applies = cpu_count >= MIN_CORES_FOR_GUARD
+    if guard_applies:
+        assert speedup >= 2.0, (
+            f"batched closed-loop throughput is only {speedup:.2f}x the "
+            f"unbatched baseline ({cpu_count} cores)"
+        )
+
+    index.close()
+    payload = {
+        "dataset": {
+            "num_records": num_records,
+            "distribution": "power-law (zipf record size, inverse-CDF element frequency)",
+            "space_fraction": SPACE_FRACTION,
+            "threshold": THRESHOLD,
+            "num_queries": len(queries),
+        },
+        "machine": {"cpu_count": cpu_count},
+        "closed_loop": {
+            "num_clients": NUM_CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "top_k_fraction": 0.25,
+        },
+        "unbatched": _report_row(unbatched),
+        "batched": {
+            **_report_row(batched),
+            "mean_batch_size": round(batch_stats.mean_batch_size, 2),
+            "largest_batch": batch_stats.largest_batch,
+        },
+        "mixed_read_write": {
+            **_report_row(mixed),
+            "write_fraction": 0.25,
+            "inserts": write_stats.inserts,
+            "deletes": write_stats.deletes,
+            "insert_batches": write_stats.insert_batches,
+            "coalescing_factor": round(coalescing_factor, 2),
+            "latency_by_operation": {
+                name: summary.as_dict()
+                for name, summary in sorted(mixed.latency_by_operation.items())
+            },
+        },
+        "batched_vs_unbatched_speedup": round(speedup, 2),
+        "guard_enforced": guard_applies,
+        "identical_results": True,  # _assert_identity raised otherwise
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+def test_serving_closed_loop(run_once):
+    payload = run_once(_run)
+    rows = [
+        [
+            "unbatched (max_batch_size=1)",
+            payload["unbatched"]["throughput_rps"],
+            payload["unbatched"]["p50_ms"],
+            payload["unbatched"]["p99_ms"],
+            "-",
+        ],
+        [
+            "batched (64-deep window)",
+            payload["batched"]["throughput_rps"],
+            payload["batched"]["p50_ms"],
+            payload["batched"]["p99_ms"],
+            payload["batched"]["mean_batch_size"],
+        ],
+        [
+            "mixed 25% writes (batched)",
+            payload["mixed_read_write"]["throughput_rps"],
+            payload["mixed_read_write"]["p50_ms"],
+            payload["mixed_read_write"]["p99_ms"],
+            payload["mixed_read_write"]["coalescing_factor"],
+        ],
+    ]
+    write_report(
+        "serving",
+        f"Serving layer closed loop ({payload['dataset']['num_records']} "
+        f"power-law records, {payload['closed_loop']['num_clients']} clients, "
+        f"{payload['machine']['cpu_count']} cores)",
+        ["configuration", "throughput_rps", "p50_ms", "p99_ms", "fusion/coalescing"],
+        rows,
+    )
+    assert payload["identical_results"] is True
+    assert payload["batched_vs_unbatched_speedup"] > 0.0

@@ -55,6 +55,7 @@ from repro.api.config import (
     IndexConfig,
     KMVConfig,
     LSHEnsembleConfig,
+    ServingConfig,
     ShardedConfig,
 )
 from repro.api.interface import BackendStatistics, Capabilities, SimilarityIndex
@@ -78,6 +79,9 @@ _LAZY_EXPORTS = {
     "generate_zipf_dataset": "repro.datasets",
     "load_proxy": "repro.datasets",
     "sample_queries": "repro.datasets",
+    "SimilarityService": "repro.serving",
+    "run_closed_loop": "repro.serving",
+    "run_load": "repro.serving",
 }
 
 __all__ = [
@@ -95,6 +99,7 @@ __all__ = [
     "AsymmetricMinHashConfig",
     "ExactSearchConfig",
     "ShardedConfig",
+    "ServingConfig",
     # registry
     "create_index",
     "open_index",
@@ -114,6 +119,10 @@ __all__ = [
     "generate_zipf_dataset",
     "load_proxy",
     "sample_queries",
+    # serving layer (lazy: repro.serving)
+    "SimilarityService",
+    "run_closed_loop",
+    "run_load",
 ]
 
 

@@ -126,6 +126,54 @@ class AsymmetricMinHashConfig(IndexConfig):
     seed: int = 0
 
 
+#: Visibility policies :class:`ServingConfig` accepts.
+VISIBILITY_POLICIES = ("read-your-writes", "bounded-staleness")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Configuration of the :class:`repro.serving.SimilarityService` front.
+
+    Not an :class:`IndexConfig`: it does not build an index, it wraps a
+    built one — but it lives here so the whole typed-configuration
+    surface of the library is one module.
+
+    Attributes
+    ----------
+    max_batch_size:
+        Upper bound on the number of requests one micro-batch executes
+        as a single ``search_many`` / ``top_k_many`` call.  ``1``
+        disables micro-batching (every request runs alone — the
+        unbatched baseline of ``BENCH_serving.json``).
+    max_batch_delay_us:
+        The micro-batch window, in microseconds: how long the first
+        request of a batch may wait for company before the batch
+        executes anyway.  ``0`` executes every batch as soon as the
+        event loop drains the submissions already queued.
+    visibility:
+        Write-visibility policy of the write buffer.
+        ``"read-your-writes"`` flushes buffered writes before every
+        query batch, so a client that awaited a write always sees it.
+        ``"bounded-staleness"`` lets queries run against the index as
+        is; buffered writes become visible within
+        ``max_write_lag_ms`` (or earlier, when the buffer fills).
+    max_write_lag_ms:
+        Flush deadline, in milliseconds, for buffered writes.  Under
+        bounded staleness it is the staleness bound; under
+        read-your-writes it merely stops writes from sitting in the
+        buffer on a query-free stream.
+    max_buffered_writes:
+        Size-triggered flush threshold: the buffer flushes as soon as
+        it holds this many write operations, regardless of policy.
+    """
+
+    max_batch_size: int = 64
+    max_batch_delay_us: float = 200.0
+    visibility: str = "read-your-writes"
+    max_write_lag_ms: float = 50.0
+    max_buffered_writes: int = 512
+
+
 @dataclass(frozen=True)
 class ShardedConfig(IndexConfig):
     """Build configuration of the ``"sharded"`` backend.

@@ -231,7 +231,42 @@ class SimilarityIndex(ABC):
             "load is unsupported"
         )
 
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release resources the index holds beyond plain memory.
+
+        The default is a no-op: most backends are pure in-memory array
+        structures with nothing to shut down.  Backends owning executors
+        or open files (the sharded backend's fan-out pool) override this
+        to release them deterministically instead of at GC time.
+        ``close`` is idempotent, and a closed index remains usable for
+        in-memory operations — it only gives up its auxiliary resources
+        (a later call may lazily recreate them).
+        """
+
+    def __enter__(self) -> "SimilarityIndex":
+        """Every index is a context manager; exit calls :meth:`close`."""
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
     # ------------------------------------------------------------ introspection
+    @property
+    def next_record_id(self) -> int | None:
+        """The id the next :meth:`insert` will assign, or ``None`` if unknown.
+
+        Every dynamic backend in the library assigns record ids
+        sequentially and never reuses them (the invariant the sharded
+        router and the dynamic-stream harness already rely on), so the
+        next id is a well-defined part of the index state.  Exposing it
+        lets single-writer layers — the serving write buffer — assign
+        ids to records *before* the coalesced flush reaches the index.
+        The default is ``None`` (unknown); backends without sequential
+        assignment must leave it that way.
+        """
+        return None
+
     @property
     @abstractmethod
     def num_records(self) -> int:

@@ -266,6 +266,11 @@ class KMVSearchIndex(SimilarityIndex):
         """Number of live indexed records."""
         return len(self._record_sizes) - self._num_dead
 
+    @property
+    def next_record_id(self) -> int:
+        """The id the next :meth:`insert` will assign (sequential, never reused)."""
+        return self._next_id
+
     def __len__(self) -> int:
         return self.num_records
 
@@ -580,6 +585,11 @@ class GKMVSearchIndex(SimilarityIndex):
     def num_records(self) -> int:
         """Number of live indexed records."""
         return self._inner.num_records
+
+    @property
+    def next_record_id(self) -> int:
+        """The id the next :meth:`insert` will assign (sequential, never reused)."""
+        return self._inner.next_record_id
 
     def __len__(self) -> int:
         return self.num_records

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import base64
 import json
+import time
 from collections import Counter
 from dataclasses import dataclass
 from pathlib import Path
@@ -460,6 +461,10 @@ class GBKMVIndex(SimilarityIndex):
         # occurrence count equals its containing-record count.
         counts = flat.counts
         if buffer_size == "auto":
+            # The pair-sampled buffer sizing is the one planning stage that
+            # is pure Python + small-array work; time it as its own stage
+            # so the profile accounts for the full build wall clock.
+            start = time.perf_counter()
             sizing = choose_buffer_size(
                 flat.record_sizes,
                 counts.astype(np.float64),
@@ -467,6 +472,12 @@ class GBKMVIndex(SimilarityIndex):
                 pair_sample=cost_model_pair_sample,
                 seed=seed,
             )
+            if profile is not None:
+                profile.record(
+                    "cost_model",
+                    time.perf_counter() - start,
+                    rows=flat.num_records,
+                )
             chosen_r = sizing.buffer_size
         else:
             chosen_r = int(buffer_size)
@@ -721,6 +732,11 @@ class GBKMVIndex(SimilarityIndex):
     def num_records(self) -> int:
         """Number of live records indexed (deleted records excluded)."""
         return self._store.num_records
+
+    @property
+    def next_record_id(self) -> int:
+        """The id the next :meth:`insert` will assign (sequential, never reused)."""
+        return self._store.next_id
 
     @property
     def vocabulary(self) -> FrequentElementVocabulary:

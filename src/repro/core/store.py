@@ -709,6 +709,11 @@ class ColumnarSketchStore:
         """Number of tombstoned rows awaiting compaction."""
         return self._num_dead
 
+    @property
+    def next_id(self) -> int:
+        """The record id the next default-id :meth:`append` will assign."""
+        return self._next_id
+
     def __len__(self) -> int:
         return self.num_records
 

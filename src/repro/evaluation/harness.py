@@ -32,6 +32,7 @@ callers that still type-check against them.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
 
@@ -249,6 +250,8 @@ def evaluate_dynamic_stream(
     searcher: DynamicSearcher,
     workload,
     batch_inserts: bool = False,
+    *,
+    coalesce_writes: bool | None = None,
 ) -> DynamicEvaluation:
     """Replay a mixed insert/delete/query stream and measure everything.
 
@@ -259,47 +262,40 @@ def evaluate_dynamic_stream(
     are accounted separately so insert-heavy and query-heavy mixes stay
     comparable.
 
-    With ``batch_inserts`` enabled, maximal runs of *consecutive* insert
-    operations are fed through the searcher's ``insert_many`` (when it
-    has one) instead of one ``insert`` call each — the batched-ingest
-    path of the bulk construction pipeline.  Stream semantics are
-    unchanged: a run of inserts is only ever interrupted by a delete or
-    query in the stream itself, exactly where the per-op replay would
-    have stopped inserting, and the assigned ids are validated per
-    operation either way.
+    With ``coalesce_writes`` enabled, the replay rides the serving
+    layer's write buffer
+    (:class:`repro.serving.write_buffer.WriteCoalescer`): writes buffer
+    in stream order with eagerly assigned (and validated) ids, every
+    query flushes the buffer first — read-your-writes, so the
+    per-instant ground truth stays exact — and runs of consecutive
+    inserts reach the searcher as ``insert_many`` bulk ingests.  This is
+    the same coalescing path :class:`repro.serving.SimilarityService`
+    serves live traffic through; stream semantics are unchanged, only
+    the measured mutation wall-clock drops.  Searchers without
+    ``insert_many`` fall back to the per-operation replay.
+
+    ``batch_inserts`` is the deprecated spelling of the same switch
+    (it predates the shared write buffer); it warns and forwards.
     """
+    if batch_inserts:
+        warnings.warn(
+            "batch_inserts is deprecated; use coalesce_writes=True (the "
+            "replay now rides the serving layer's write buffer)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    if coalesce_writes is None:
+        coalesce_writes = bool(batch_inserts)
+    if coalesce_writes and supports_operation(searcher, "insert_many"):
+        return _evaluate_dynamic_stream_coalesced(method_name, searcher, workload)
     answers: list[set[int]] = []
     truths: list[frozenset[int]] = []
     num_inserts = num_deletes = 0
     mutation_seconds = query_seconds = 0.0
     operations = list(workload.operations)
-    use_batches = batch_inserts and supports_operation(searcher, "insert_many")
     position = 0
     while position < len(operations):
         operation = operations[position]
-        if operation.op == "insert" and use_batches:
-            run_stop = position + 1
-            while run_stop < len(operations) and operations[run_stop].op == "insert":
-                run_stop += 1
-            run = operations[position:run_stop]
-            start = time.perf_counter()
-            assigned_ids = searcher.insert_many([list(op.record) for op in run])
-            mutation_seconds += time.perf_counter() - start
-            num_inserts += len(run)
-            if len(assigned_ids) != len(run):
-                raise ConfigurationError(
-                    f"insert_many returned {len(assigned_ids)} ids for "
-                    f"{len(run)} inserted records"
-                )
-            for assigned, expected in zip(assigned_ids, run):
-                if int(assigned) != expected.record_id:
-                    raise ConfigurationError(
-                        f"searcher assigned id {assigned} where the stream "
-                        f"expected {expected.record_id}; build it on the "
-                        "workload's initial_records"
-                    )
-            position = run_stop
-            continue
         position += 1
         if operation.op == "insert":
             start = time.perf_counter()
@@ -325,6 +321,95 @@ def evaluate_dynamic_stream(
             truths.append(operation.ground_truth)
         else:
             raise ConfigurationError(f"unknown stream operation {operation.op!r}")
+    return _assemble_dynamic_evaluation(
+        method_name,
+        searcher,
+        workload,
+        answers,
+        truths,
+        num_inserts=num_inserts,
+        num_deletes=num_deletes,
+        mutation_seconds=mutation_seconds,
+        query_seconds=query_seconds,
+    )
+
+
+def _evaluate_dynamic_stream_coalesced(
+    method_name: str, searcher: DynamicSearcher, workload
+) -> DynamicEvaluation:
+    """The coalesced replay: the stream through the serving write buffer.
+
+    Writes enqueue (eager id assignment, validated against the stream's
+    precomputed ids); every query flushes first so it sees exactly the
+    stream-instant state the ground truth was computed at.  Flush time
+    is mutation time — it is the deferred cost of the buffered writes.
+    """
+    from repro.serving.write_buffer import WriteCoalescer
+
+    next_id = getattr(searcher, "next_record_id", None)
+    if next_id is None:
+        next_id = len(workload.initial_records)
+    buffer = WriteCoalescer(searcher, next_record_id=next_id)
+    answers: list[set[int]] = []
+    truths: list[frozenset[int]] = []
+    num_inserts = num_deletes = 0
+    mutation_seconds = query_seconds = 0.0
+    for operation in workload.operations:
+        if operation.op == "insert":
+            start = time.perf_counter()
+            assigned = buffer.insert(list(operation.record))
+            mutation_seconds += time.perf_counter() - start
+            num_inserts += 1
+            if assigned != operation.record_id:
+                raise ConfigurationError(
+                    f"write buffer assigned id {assigned} where the stream "
+                    f"expected {operation.record_id}; build the searcher on "
+                    "the workload's initial_records"
+                )
+        elif operation.op == "delete":
+            start = time.perf_counter()
+            buffer.delete(operation.record_id)
+            mutation_seconds += time.perf_counter() - start
+            num_deletes += 1
+        elif operation.op == "query":
+            start = time.perf_counter()
+            buffer.flush()
+            mutation_seconds += time.perf_counter() - start
+            start = time.perf_counter()
+            hits = searcher.search(list(operation.query), workload.threshold)
+            query_seconds += time.perf_counter() - start
+            answers.append(_result_ids(hits))
+            truths.append(operation.ground_truth)
+        else:
+            raise ConfigurationError(f"unknown stream operation {operation.op!r}")
+    start = time.perf_counter()
+    buffer.flush()
+    mutation_seconds += time.perf_counter() - start
+    return _assemble_dynamic_evaluation(
+        method_name,
+        searcher,
+        workload,
+        answers,
+        truths,
+        num_inserts=num_inserts,
+        num_deletes=num_deletes,
+        mutation_seconds=mutation_seconds,
+        query_seconds=query_seconds,
+    )
+
+
+def _assemble_dynamic_evaluation(
+    method_name: str,
+    searcher: DynamicSearcher,
+    workload,
+    answers: list[set[int]],
+    truths: list[frozenset[int]],
+    *,
+    num_inserts: int,
+    num_deletes: int,
+    mutation_seconds: float,
+    query_seconds: float,
+) -> DynamicEvaluation:
     accuracy = measure_accuracy(answers, truths)
     num_queries = len(answers)
     num_mutations = num_inserts + num_deletes

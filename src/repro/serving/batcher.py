@@ -1,0 +1,179 @@
+"""Query micro-batching: concurrent requests fused into one engine call.
+
+The fused query engine answers a workload of queries far faster than the
+same queries one at a time (``BENCH_query_engine.json``), but a live
+service receives them one at a time.  :class:`MicroBatcher` recovers the
+workload shape at the front door: requests submitted inside a small
+window (``max_delay`` seconds, ``max_batch_size`` requests) accumulate
+per *batch key* — requests are only fused when one engine call can
+answer them all, e.g. searches sharing a threshold — and execute as one
+batch, fanning the per-request results back to per-request futures.
+
+The batcher is transport-agnostic: it knows nothing about indexes, only
+an async ``execute(key, items) -> results`` callable supplied by the
+owner (:class:`repro.serving.service.SimilarityService` runs the fused
+engine call on a worker thread there).  All batcher state lives on the
+event loop thread — no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Hashable, Sequence
+
+from repro._errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BatcherStats:
+    """Cumulative counters of one :class:`MicroBatcher`.
+
+    ``requests / batches`` is the achieved fusion factor; ``largest_batch``
+    shows whether the configured ceiling was ever reached.
+    """
+
+    requests: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average requests per executed batch (0.0 before any batch)."""
+        return self.requests / self.batches if self.batches else 0.0
+
+
+class _Bucket:
+    """Requests accumulated for one batch key, awaiting execution."""
+
+    __slots__ = ("items", "futures", "timer")
+
+    def __init__(self) -> None:
+        self.items: list = []
+        self.futures: list[asyncio.Future] = []
+        self.timer: asyncio.TimerHandle | asyncio.Handle | None = None
+
+
+class MicroBatcher:
+    """Accumulate per-key requests inside a window; execute them as batches.
+
+    Parameters
+    ----------
+    execute:
+        Async callable receiving ``(key, items)`` and returning one
+        result per item, in item order.
+    max_batch_size:
+        Batch ceiling; a bucket reaching it executes immediately.
+        ``1`` degenerates to one execution per request (the unbatched
+        baseline).
+    max_delay:
+        The window, in **seconds**: how long the first request of a
+        bucket waits for company.  ``0`` executes once the event loop
+        drains the submissions already queued (one ``call_soon`` hop),
+        which still fuses bursts submitted in the same loop iteration.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[Hashable, Sequence], Awaitable[Sequence]],
+        max_batch_size: int = 64,
+        max_delay: float = 0.0002,
+    ) -> None:
+        if int(max_batch_size) < 1:
+            raise ConfigurationError("max_batch_size must be at least 1")
+        if float(max_delay) < 0.0:
+            raise ConfigurationError("max_delay must be non-negative")
+        self._execute = execute
+        self._max_batch_size = int(max_batch_size)
+        self._max_delay = float(max_delay)
+        self._buckets: dict[Hashable, _Bucket] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._closed = False
+        self._requests = 0
+        self._batches = 0
+        self._largest_batch = 0
+
+    # ------------------------------------------------------------------ submit
+    def submit(self, key: Hashable, item) -> asyncio.Future:
+        """Enqueue one request; the returned future resolves to its result."""
+        if self._closed:
+            raise ConfigurationError("the micro-batcher is closed")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = _Bucket()
+            self._buckets[key] = bucket
+        bucket.items.append(item)
+        bucket.futures.append(future)
+        self._requests += 1
+        if len(bucket.items) >= self._max_batch_size:
+            self._fire(key)
+        elif bucket.timer is None:
+            if self._max_delay > 0.0:
+                bucket.timer = loop.call_later(self._max_delay, self._fire, key)
+            else:
+                bucket.timer = loop.call_soon(self._fire, key)
+        return future
+
+    # ------------------------------------------------------------------- fire
+    def _fire(self, key: Hashable) -> None:
+        """Detach a bucket and launch its batch execution task."""
+        bucket = self._buckets.pop(key, None)
+        if bucket is None:
+            return
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        self._batches += 1
+        self._largest_batch = max(self._largest_batch, len(bucket.items))
+        task = asyncio.get_running_loop().create_task(self._run(key, bucket))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run(self, key: Hashable, bucket: _Bucket) -> None:
+        try:
+            results = await self._execute(key, bucket.items)
+            if len(results) != len(bucket.items):
+                raise ConfigurationError(
+                    f"batch execution returned {len(results)} results for "
+                    f"{len(bucket.items)} requests"
+                )
+        except BaseException as error:  # noqa: BLE001 - fan the error out
+            for future in bucket.futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for future, result in zip(bucket.futures, results):
+            if not future.done():
+                future.set_result(result)
+
+    # --------------------------------------------------------------- lifecycle
+    def flush(self) -> None:
+        """Execute every pending bucket now, without waiting for windows."""
+        for key in list(self._buckets):
+            self._fire(key)
+
+    async def drain(self) -> None:
+        """Flush and wait until every in-flight batch has delivered."""
+        self.flush()
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    async def close(self) -> None:
+        """Drain, then reject all further submissions."""
+        self._closed = True
+        await self.drain()
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def pending(self) -> int:
+        """Requests accumulated but not yet fired."""
+        return sum(len(bucket.items) for bucket in self._buckets.values())
+
+    def stats(self) -> BatcherStats:
+        """Snapshot of the cumulative counters."""
+        return BatcherStats(
+            requests=self._requests,
+            batches=self._batches,
+            largest_batch=self._largest_batch,
+        )

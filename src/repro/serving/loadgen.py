@@ -1,0 +1,219 @@
+"""Closed-loop load generation against a :class:`SimilarityService`.
+
+A *closed loop* models real clients: each of ``num_clients`` simulated
+clients issues its next request only after the previous one completed,
+so concurrency is exactly the client count and the measured latencies
+include the queueing the service itself induces.  (An open loop — fixed
+arrival rate regardless of completions — measures a different thing and
+explodes under saturation; the closed loop is the standard
+throughput/latency operating point.)
+
+Each client draws its own deterministic request stream (seeded per
+client) from a shared mix of searches, top-k lookups, inserts and
+deletes; deletes only ever target ids the *same client* inserted, so
+streams never conflict and every run is replayable.  The report carries
+end-to-end throughput plus per-operation latency percentiles — the
+numbers ``BENCH_serving.json`` tracks.
+
+Everything here is pure measurement: no assertions, no index access —
+only awaited service calls between two ``perf_counter`` reads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._errors import ConfigurationError
+from repro.serving.service import SimilarityService
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of one latency population, in milliseconds."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_seconds(cls, samples: Sequence[float]) -> "LatencySummary":
+        """Summarise raw per-request wall-clock seconds."""
+        if not samples:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ms = np.asarray(samples, dtype=np.float64) * 1e3
+        return cls(
+            count=int(ms.size),
+            mean_ms=float(ms.mean()),
+            p50_ms=float(np.percentile(ms, 50)),
+            p95_ms=float(np.percentile(ms, 95)),
+            p99_ms=float(np.percentile(ms, 99)),
+            max_ms=float(ms.max()),
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (for the ``BENCH_*`` payloads)."""
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean_ms, 4),
+            "p50_ms": round(self.p50_ms, 4),
+            "p95_ms": round(self.p95_ms, 4),
+            "p99_ms": round(self.p99_ms, 4),
+            "max_ms": round(self.max_ms, 4),
+        }
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """What one closed-loop run measured."""
+
+    num_clients: int
+    requests_per_client: int
+    total_requests: int
+    wall_seconds: float
+    throughput_rps: float
+    latency: LatencySummary
+    latency_by_operation: dict
+    operation_counts: dict
+
+    def as_dict(self) -> dict:
+        """JSON-ready report (for the ``BENCH_*`` payloads)."""
+        return {
+            "num_clients": self.num_clients,
+            "requests_per_client": self.requests_per_client,
+            "total_requests": self.total_requests,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "latency": self.latency.as_dict(),
+            "latency_by_operation": {
+                name: summary.as_dict()
+                for name, summary in sorted(self.latency_by_operation.items())
+            },
+            "operation_counts": dict(sorted(self.operation_counts.items())),
+        }
+
+
+async def run_closed_loop(
+    service: SimilarityService,
+    queries: Sequence[Sequence[object]],
+    threshold: float,
+    *,
+    num_clients: int = 64,
+    requests_per_client: int = 10,
+    insert_pool: Sequence[Sequence[object]] = (),
+    write_fraction: float = 0.0,
+    delete_fraction_of_writes: float = 0.25,
+    top_k_fraction: float = 0.0,
+    k: int = 10,
+    seed: int = 0,
+) -> LoadReport:
+    """Drive a closed-loop mixed workload and measure throughput/latency.
+
+    Parameters
+    ----------
+    service:
+        The (started) serving front to load.
+    queries:
+        Query pool; each search/top-k request draws one uniformly.
+    threshold:
+        Containment threshold shared by every search.
+    num_clients:
+        Concurrent simulated clients (the closed-loop concurrency).
+    requests_per_client:
+        Requests each client issues back-to-back.
+    insert_pool:
+        Record pool inserts draw from (cycled per client).  Required
+        when ``write_fraction`` is positive.
+    write_fraction:
+        Fraction of requests that are writes; of those,
+        ``delete_fraction_of_writes`` delete a record the same client
+        inserted earlier (falling back to an insert when it has none).
+    top_k_fraction:
+        Fraction of *read* requests served as ``top_k`` instead of
+        ``search``.
+    k:
+        The ``k`` of those top-k reads.
+    seed:
+        Master seed; client ``i`` derives its stream from ``(seed, i)``.
+    """
+    if num_clients < 1 or requests_per_client < 1:
+        raise ConfigurationError("num_clients and requests_per_client must be >= 1")
+    if not queries:
+        raise ConfigurationError("the query pool must not be empty")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigurationError("write_fraction must be in [0, 1]")
+    if write_fraction > 0.0 and not len(insert_pool):
+        raise ConfigurationError("a positive write_fraction needs an insert_pool")
+
+    latencies: list[tuple[str, float]] = []
+
+    async def client(client_id: int) -> None:
+        rng = np.random.default_rng([seed, client_id])
+        owned_ids: list[int] = []
+        next_insert = client_id  # stagger the pool across clients
+        for _ in range(requests_per_client):
+            draw = rng.random()
+            if draw < write_fraction:
+                if owned_ids and rng.random() < delete_fraction_of_writes:
+                    target = owned_ids.pop(int(rng.integers(len(owned_ids))))
+                    start = time.perf_counter()
+                    await service.delete(target)
+                    latencies.append(("delete", time.perf_counter() - start))
+                else:
+                    record = insert_pool[next_insert % len(insert_pool)]
+                    next_insert += num_clients
+                    start = time.perf_counter()
+                    record_id = await service.insert(list(record))
+                    latencies.append(("insert", time.perf_counter() - start))
+                    owned_ids.append(record_id)
+            else:
+                query = queries[int(rng.integers(len(queries)))]
+                if rng.random() < top_k_fraction:
+                    start = time.perf_counter()
+                    await service.top_k(list(query), k)
+                    latencies.append(("top_k", time.perf_counter() - start))
+                else:
+                    start = time.perf_counter()
+                    await service.search(list(query), threshold)
+                    latencies.append(("search", time.perf_counter() - start))
+
+    wall_start = time.perf_counter()
+    await asyncio.gather(*(client(i) for i in range(num_clients)))
+    await service.drain()  # buffered writes are part of the measured work
+    wall_seconds = time.perf_counter() - wall_start
+
+    by_operation: dict[str, list[float]] = {}
+    for kind, latency in latencies:
+        by_operation.setdefault(kind, []).append(latency)
+    total = len(latencies)
+    return LoadReport(
+        num_clients=num_clients,
+        requests_per_client=requests_per_client,
+        total_requests=total,
+        wall_seconds=wall_seconds,
+        throughput_rps=total / wall_seconds if wall_seconds > 0 else 0.0,
+        latency=LatencySummary.from_seconds([lat for _, lat in latencies]),
+        latency_by_operation={
+            kind: LatencySummary.from_seconds(samples)
+            for kind, samples in by_operation.items()
+        },
+        operation_counts={
+            kind: len(samples) for kind, samples in by_operation.items()
+        },
+    )
+
+
+def run_load(service: SimilarityService, *args, **kwargs) -> LoadReport:
+    """Synchronous wrapper: ``asyncio.run`` one closed loop (benchmarks)."""
+    async def runner() -> LoadReport:
+        async with service:
+            return await run_closed_loop(service, *args, **kwargs)
+
+    return asyncio.run(runner())

@@ -384,6 +384,11 @@ class ShardedIndex(SimilarityIndex):
         return sum(shard.num_records for shard in self._shards)
 
     @property
+    def next_record_id(self) -> int:
+        """The global id the next :meth:`insert` will assign (sequential)."""
+        return self._next_global_id
+
+    @property
     def num_shards(self) -> int:
         """Number of shards the dataset is partitioned across."""
         return self._num_shards
@@ -432,5 +437,15 @@ class ShardedIndex(SimilarityIndex):
         return self._globals_cache
 
     def close(self) -> None:
-        """Shut down the fan-out thread pool (the index stays usable)."""
+        """Release the fan-out pool and every shard's resources, deterministically.
+
+        Overrides the interface's no-op: the :class:`ShardExecutor` pool
+        is joined (not abandoned to GC) and ``close`` is forwarded to
+        every inner shard.  Idempotent; the index stays usable for
+        in-memory operations — the next fan-out lazily recreates the
+        pool.  The serving layer's ``drain``/``close`` path relies on
+        this to shut a wrapped sharded index down cleanly.
+        """
         self._executor.close()
+        for shard in self._shards:
+            shard.close()

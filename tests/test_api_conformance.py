@@ -175,6 +175,31 @@ class TestDynamicOperations:
         assert assigned[1] in hits
 
 
+class TestLifecycle:
+    def test_context_manager_closes_on_exit(self, backend_id, records):
+        with create_index(backend_id, records) as index:
+            assert isinstance(index, SimilarityIndex)
+            assert index.num_records == len(records)
+        index.close()  # close is idempotent
+
+    def test_next_record_id_matches_dynamic_capability(self, index, records):
+        # Every dynamic backend declares the sequential-id invariant the
+        # serving write buffer builds on; static backends return None.
+        if index.capabilities.dynamic:
+            assert index.next_record_id == len(records)
+        else:
+            assert index.next_record_id is None
+
+    def test_insert_advances_next_record_id(self, backend_id, records):
+        fresh = create_index(backend_id, records)
+        if not fresh.capabilities.dynamic:
+            return
+        assigned = fresh.insert(list(records[0]))
+        assert assigned == len(records)
+        assert fresh.next_record_id == len(records) + 1
+        fresh.close()
+
+
 class TestPersistence:
     def test_save_load_round_trip(self, backend_id, records, queries, tmp_path):
         index = create_index(backend_id, records)

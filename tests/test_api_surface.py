@@ -28,6 +28,7 @@ EXPECTED_EXPORTS = {
     "AsymmetricMinHashConfig",
     "ExactSearchConfig",
     "ShardedConfig",
+    "ServingConfig",
     # registry
     "create_index",
     "open_index",
@@ -47,6 +48,10 @@ EXPECTED_EXPORTS = {
     "generate_zipf_dataset",
     "load_proxy",
     "sample_queries",
+    # serving layer (lazy: repro.serving)
+    "SimilarityService",
+    "run_closed_loop",
+    "run_load",
 }
 
 #: Every backend id the registry must serve.

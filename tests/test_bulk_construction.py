@@ -481,16 +481,32 @@ class TestBuildProfile:
         profile = index.last_build_profile
         assert profile is not None
         seconds = profile.stage_seconds()
-        assert {"flatten", "vocabulary", "sketch", "append"} <= set(seconds)
+        assert {
+            "flatten",
+            "cost_model",
+            "vocabulary",
+            "sketch",
+            "append",
+        } <= set(seconds)
         assert all(value >= 0.0 for value in seconds.values())
         rows = profile.stage_rows()
         assert rows["flatten"] == len(records)
+        assert rows["cost_model"] == len(records)
         assert rows["sketch"] == len(records)
         assert rows["append"] == len(records)
         assert index.statistics().build_profile is profile
         payload = profile.as_dict()
         assert set(payload) == {"stage_seconds", "stage_rows", "stages"}
         assert all(stage["seconds"] >= 0.0 for stage in payload["stages"])
+
+    def test_fixed_buffer_size_skips_cost_model_stage(self):
+        # The cost-model stage is the pair-sampled buffer sizing; pinning
+        # buffer_size bypasses it, so it must not appear in the profile.
+        records = powerlaw_records(num_records=60)
+        index = GBKMVIndex.build(records, space_fraction=0.15, buffer_size=4)
+        profile = index.last_build_profile
+        assert profile is not None
+        assert "cost_model" not in profile.stage_seconds()
 
     def test_per_record_build_has_no_profile(self):
         records = powerlaw_records(num_records=50)

@@ -25,6 +25,7 @@ EXPECTED_OUTPUT = {
     "domain_search.py": "best-matching domains",
     "inclusion_dependency.py": "true foreign keys recovered",
     "record_matching.py": "error-tolerant search",
+    "serving_demo.py": "Closed-loop load",
 }
 
 

@@ -167,10 +167,11 @@ class TestEvaluateDynamicStream:
 
         assert isinstance(GBKMVIndex.build([["a", "b"]], space_fraction=1.0), DynamicSearcher)
 
-    def test_batch_inserts_replay_is_equivalent(self, zipf_records):
-        # Batched-ingest replay must score the stream identically to the
-        # per-operation replay (runs of consecutive inserts go through
-        # insert_many, everything else is untouched).
+    def test_coalesced_replay_is_equivalent(self, zipf_records):
+        # The write-buffer replay must score the stream identically to
+        # the per-operation replay (writes coalesce through the serving
+        # layer's WriteCoalescer; queries flush first, so every query
+        # still sees the exact stream-instant state).
         workload = build_dynamic_workload(
             zipf_records[:150], threshold=0.5, num_operations=120, seed=11
         )
@@ -182,14 +183,34 @@ class TestEvaluateDynamicStream:
         )
         per_op = evaluate_dynamic_stream("GB-KMV", per_op_index, workload)
         batched = evaluate_dynamic_stream(
-            "GB-KMV", batched_index, workload, batch_inserts=True
+            "GB-KMV", batched_index, workload, coalesce_writes=True
         )
         assert batched.accuracy == per_op.accuracy
         assert batched.num_inserts == per_op.num_inserts
         assert batched.num_deletes == per_op.num_deletes
         assert batched.num_queries == per_op.num_queries
 
-    def test_batch_inserts_without_insert_many_falls_back(self, zipf_records):
+    def test_batch_inserts_is_a_deprecated_alias(self, zipf_records):
+        workload = build_dynamic_workload(
+            zipf_records[:100], threshold=0.5, num_operations=60, seed=11
+        )
+        aliased_index = GBKMVIndex.build(
+            list(workload.initial_records), space_fraction=0.5
+        )
+        direct_index = GBKMVIndex.build(
+            list(workload.initial_records), space_fraction=0.5
+        )
+        with pytest.warns(DeprecationWarning, match="coalesce_writes"):
+            aliased = evaluate_dynamic_stream(
+                "GB-KMV", aliased_index, workload, batch_inserts=True
+            )
+        direct = evaluate_dynamic_stream(
+            "GB-KMV", direct_index, workload, coalesce_writes=True
+        )
+        assert aliased.accuracy == direct.accuracy
+        assert aliased.num_inserts == direct.num_inserts
+
+    def test_coalesce_writes_without_insert_many_falls_back(self, zipf_records):
         workload = build_dynamic_workload(
             zipf_records[:80], threshold=0.5, num_operations=40, seed=13
         )
@@ -213,7 +234,7 @@ class TestEvaluateDynamicStream:
             GBKMVIndex.build(list(workload.initial_records), space_fraction=1.0)
         )
         evaluation = evaluate_dynamic_stream(
-            "GB-KMV", searcher, workload, batch_inserts=True
+            "GB-KMV", searcher, workload, coalesce_writes=True
         )
         assert evaluation.num_operations == workload.num_operations
         assert evaluation.accuracy.f1 == 1.0

@@ -1,0 +1,170 @@
+"""MicroBatcher mechanics: fusion windows, key separation, fan-out.
+
+The batcher is index-agnostic, so these tests drive it with plain echo
+executors and assert on the *shape* of the executions: which requests
+fused, when a full bucket fired, how errors fan out.  There is no
+pytest-asyncio in the toolchain — every test runs its coroutine through
+``asyncio.run`` directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro._errors import ConfigurationError
+from repro.serving import MicroBatcher
+
+
+class EchoExecutor:
+    """Returns each item unchanged and records every batch it ran."""
+
+    def __init__(self) -> None:
+        self.batches: list[tuple[object, list]] = []
+
+    async def __call__(self, key, items):
+        self.batches.append((key, list(items)))
+        return list(items)
+
+
+class TestFusion:
+    def test_same_iteration_burst_fuses_into_one_batch(self):
+        async def scenario():
+            executor = EchoExecutor()
+            batcher = MicroBatcher(executor, max_batch_size=64, max_delay=0.0)
+            futures = [batcher.submit("k", i) for i in range(5)]
+            results = await asyncio.gather(*futures)
+            return executor, batcher, results
+
+        executor, batcher, results = asyncio.run(scenario())
+        assert results == [0, 1, 2, 3, 4]
+        assert len(executor.batches) == 1
+        assert executor.batches[0] == ("k", [0, 1, 2, 3, 4])
+        stats = batcher.stats()
+        assert stats.requests == 5
+        assert stats.batches == 1
+        assert stats.largest_batch == 5
+        assert stats.mean_batch_size == pytest.approx(5.0)
+
+    def test_full_bucket_fires_immediately(self):
+        async def scenario():
+            executor = EchoExecutor()
+            batcher = MicroBatcher(executor, max_batch_size=2, max_delay=10.0)
+            futures = [batcher.submit("k", i) for i in range(5)]
+            # Two full buckets fired at size 2; the fifth request would
+            # wait out the 10 s window — flush it instead.
+            batcher.flush()
+            return executor, await asyncio.gather(*futures)
+
+        executor, results = asyncio.run(scenario())
+        assert results == [0, 1, 2, 3, 4]
+        assert [len(items) for _key, items in executor.batches] == [2, 2, 1]
+
+    def test_distinct_keys_never_fuse(self):
+        async def scenario():
+            executor = EchoExecutor()
+            batcher = MicroBatcher(executor, max_batch_size=64, max_delay=0.0)
+            futures = [batcher.submit(i % 2, i) for i in range(6)]
+            return executor, await asyncio.gather(*futures)
+
+        executor, results = asyncio.run(scenario())
+        assert results == [0, 1, 2, 3, 4, 5]
+        assert sorted(key for key, _items in executor.batches) == [0, 1]
+        by_key = dict(executor.batches)
+        assert by_key[0] == [0, 2, 4]
+        assert by_key[1] == [1, 3, 5]
+
+    def test_delayed_window_still_collects_stragglers(self):
+        async def scenario():
+            executor = EchoExecutor()
+            batcher = MicroBatcher(executor, max_batch_size=64, max_delay=0.05)
+            first = batcher.submit("k", "a")
+            await asyncio.sleep(0)  # a different loop iteration
+            second = batcher.submit("k", "b")
+            return executor, await asyncio.gather(first, second)
+
+        executor, results = asyncio.run(scenario())
+        assert results == ["a", "b"]
+        assert len(executor.batches) == 1
+
+
+class TestErrors:
+    def test_execution_error_fans_out_to_every_request(self):
+        async def scenario():
+            async def explode(key, items):
+                raise RuntimeError("engine failure")
+
+            batcher = MicroBatcher(explode, max_batch_size=64, max_delay=0.0)
+            futures = [batcher.submit("k", i) for i in range(3)]
+            return await asyncio.gather(*futures, return_exceptions=True)
+
+        outcomes = asyncio.run(scenario())
+        assert len(outcomes) == 3
+        assert all(isinstance(outcome, RuntimeError) for outcome in outcomes)
+
+    def test_result_length_mismatch_is_an_error(self):
+        async def scenario():
+            async def short(key, items):
+                return list(items)[:-1]
+
+            batcher = MicroBatcher(short, max_batch_size=64, max_delay=0.0)
+            futures = [batcher.submit("k", i) for i in range(3)]
+            return await asyncio.gather(*futures, return_exceptions=True)
+
+        outcomes = asyncio.run(scenario())
+        assert all(isinstance(outcome, ConfigurationError) for outcome in outcomes)
+
+    def test_invalid_parameters_are_rejected(self):
+        async def noop(key, items):
+            return list(items)
+
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(noop, max_batch_size=0)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(noop, max_delay=-1.0)
+
+
+class TestLifecycle:
+    def test_close_delivers_pending_then_rejects(self):
+        async def scenario():
+            executor = EchoExecutor()
+            batcher = MicroBatcher(executor, max_batch_size=64, max_delay=10.0)
+            pending = batcher.submit("k", "late")
+            await batcher.close()
+            delivered = await pending
+            with pytest.raises(ConfigurationError, match="closed"):
+                batcher.submit("k", "too late")
+            return delivered
+
+        assert asyncio.run(scenario()) == "late"
+
+    def test_drain_waits_for_in_flight_batches(self):
+        async def scenario():
+            started = asyncio.Event()
+
+            async def slow(key, items):
+                started.set()
+                await asyncio.sleep(0.01)
+                return list(items)
+
+            batcher = MicroBatcher(slow, max_batch_size=1, max_delay=0.0)
+            future = batcher.submit("k", 1)
+            await started.wait()
+            await batcher.drain()
+            assert future.done()
+            return await future
+
+        assert asyncio.run(scenario()) == 1
+
+    def test_pending_counts_unfired_requests(self):
+        async def scenario():
+            executor = EchoExecutor()
+            batcher = MicroBatcher(executor, max_batch_size=64, max_delay=10.0)
+            future = batcher.submit("k", 1)
+            depth = batcher.pending
+            await batcher.close()
+            await future
+            return depth, batcher.pending
+
+        assert asyncio.run(scenario()) == (1, 0)
